@@ -1,0 +1,107 @@
+// Command nmad-bench regenerates the paper's evaluation figures on the
+// simulated testbed and prints them as aligned tables or CSV.
+//
+// Usage:
+//
+//	nmad-bench                 # all figures, tables to stdout
+//	nmad-bench -fig fig7       # one figure
+//	nmad-bench -csv -out dir   # write <fig>.csv files into dir
+//	nmad-bench -iters 16       # more timed iterations per point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"newmad/internal/bench"
+)
+
+func main() {
+	var (
+		figFlag  = flag.String("fig", "all", "figure id ("+strings.Join(bench.FigureIDs(), ", ")+") or 'all'")
+		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plotFlag = flag.Bool("plot", false, "render ASCII log-log plots instead of tables")
+		outDir   = flag.String("out", "", "write one file per figure into this directory instead of stdout")
+		warmup   = flag.Int("warmup", 2, "warmup iterations per point")
+		iters    = flag.Int("iters", 8, "timed iterations per point")
+		verify   = flag.Bool("verify", false, "verify payload integrity during measurement")
+		check    = flag.Bool("check", false, "evaluate every paper claim and print a pass/fail table")
+	)
+	flag.Parse()
+	if *check {
+		claims := bench.CheckClaims(bench.Quality{Warmup: *warmup, Iters: *iters, Verify: *verify})
+		bench.WriteClaims(os.Stdout, claims)
+		for _, c := range claims {
+			if !c.OK {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	mode := modeTable
+	if *csvFlag {
+		mode = modeCSV
+	}
+	if *plotFlag {
+		mode = modePlot
+	}
+	if err := run(*figFlag, mode, *outDir, bench.Quality{Warmup: *warmup, Iters: *iters, Verify: *verify}); err != nil {
+		fmt.Fprintln(os.Stderr, "nmad-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type outMode int
+
+const (
+	modeTable outMode = iota
+	modeCSV
+	modePlot
+)
+
+func run(figID string, mode outMode, outDir string, q bench.Quality) error {
+	ids := bench.FigureIDs()
+	if figID != "all" {
+		ids = []string{figID}
+	}
+	for _, id := range ids {
+		fig, err := bench.Build(id, q)
+		if err != nil {
+			return err
+		}
+		out := os.Stdout
+		if outDir != "" {
+			ext := ".txt"
+			if mode == modeCSV {
+				ext = ".csv"
+			}
+			f, err := os.Create(filepath.Join(outDir, id+ext))
+			if err != nil {
+				return err
+			}
+			writeFig(fig, mode, f)
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", f.Name())
+			continue
+		}
+		writeFig(fig, mode, out)
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func writeFig(fig *bench.Figure, mode outMode, f *os.File) {
+	switch mode {
+	case modeCSV:
+		fig.WriteCSV(f)
+	case modePlot:
+		fig.WritePlot(f, 64, 18)
+	default:
+		fig.WriteTable(f)
+	}
+}

@@ -1,0 +1,84 @@
+// Command nmad-sample runs the initialization-time network sampling on
+// the simulated rails, prints the fitted profiles and stripping ratios,
+// and optionally persists them to JSON (paper §3.4).
+//
+// Usage:
+//
+//	nmad-sample                     # sample myri10g + qsnet2, print
+//	nmad-sample -rails myri10g,gige # choose rail models
+//	nmad-sample -o profiles.json    # persist for later runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"newmad/internal/core"
+	"newmad/internal/des"
+	"newmad/internal/sampling"
+	"newmad/internal/simnet"
+)
+
+func main() {
+	var (
+		railsFlag = flag.String("rails", "myri10g,qsnet2", "comma-separated rail models (myri10g, qsnet2, gige)")
+		outFlag   = flag.String("o", "", "write sampled profiles to this JSON file")
+	)
+	flag.Parse()
+	if err := run(*railsFlag, *outFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "nmad-sample:", err)
+		os.Exit(1)
+	}
+}
+
+func nicByName(name string) (simnet.NICParams, error) {
+	switch name {
+	case "myri10g":
+		return simnet.Myri10G(), nil
+	case "qsnet2":
+		return simnet.QsNetII(), nil
+	case "gige":
+		return simnet.GigE(), nil
+	default:
+		return simnet.NICParams{}, fmt.Errorf("unknown rail model %q", name)
+	}
+}
+
+func run(railsCSV, out string) error {
+	w := des.NewWorld()
+	hostA := simnet.NewHost(w, "A", simnet.Opteron())
+	hostB := simnet.NewHost(w, "B", simnet.Opteron())
+	var profiles []core.Profile
+	for _, name := range strings.Split(railsCSV, ",") {
+		params, err := nicByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		na := hostA.NewNIC(params)
+		nb := hostB.NewNIC(params)
+		simnet.Connect(na, nb)
+		profiles = append(profiles, sampling.SampleNICPair(w, na, nb, nil))
+	}
+	var bws []float64
+	fmt.Printf("%-10s %12s %14s %10s %10s\n", "rail", "latency", "bandwidth", "eager_max", "pio_max")
+	for _, p := range profiles {
+		fmt.Printf("%-10s %12v %11.1f MB/s %10d %10d\n",
+			p.Name, p.Latency, p.Bandwidth/1e6, p.EagerMax, p.PIOMax)
+		bws = append(bws, p.Bandwidth)
+	}
+	ratios := sampling.Ratios(bws)
+	fmt.Printf("stripping ratios:")
+	for i, r := range ratios {
+		fmt.Printf(" %s=%.3f", profiles[i].Name, r)
+	}
+	fmt.Println()
+	if out != "" {
+		if err := sampling.Save(out, profiles); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+// Quickstart: send one message between two simulated hosts over a
+// heterogeneous two-rail platform (Myri-10G + Quadrics) using the
+// paper's final strategy, and print how long the exchange took in
+// virtual time.
+package main
+
+import (
+	"fmt"
+
+	"newmad"
+)
+
+func main() {
+	pair := newmad.NewSimPair(newmad.SimPairConfig{
+		NICs:     []newmad.NICParams{newmad.Myri10G(), newmad.QsNetII()},
+		Strategy: newmad.StrategySplit,
+		Sample:   true, // derive stripping ratios at init, like the paper
+	})
+
+	const tag = 1
+	msg := []byte("hello from the multi-rail engine — this payload rides whichever rails are idle")
+	recv := make([]byte, len(msg))
+
+	start := pair.W.Now() // sampling ran during setup; measure from here
+	pair.W.Spawn("receiver", func(p *newmad.Proc) {
+		rr := pair.GateBA.Irecv(tag, recv)
+		newmad.WaitSim(p, rr)
+		fmt.Printf("received %d bytes after %v: %q\n",
+			rr.Len(), (p.Now() - start).Duration(), string(recv[:rr.Len()]))
+	})
+	pair.W.Spawn("sender", func(p *newmad.Proc) {
+		sr := pair.GateAB.Isend(tag, msg)
+		newmad.WaitSim(p, sr)
+		fmt.Printf("send completed after %v\n", (p.Now() - start).Duration())
+	})
+	pair.W.Run()
+}

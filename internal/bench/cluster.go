@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+
+	"newmad/internal/core"
+	"newmad/internal/des"
+	"newmad/internal/drivers/simdrv"
+	"newmad/internal/mpl"
+	"newmad/internal/sampling"
+	"newmad/internal/simnet"
+)
+
+// ClusterConfig describes an N-node simulated platform with a full mesh
+// of point-to-point links (each node pair gets its own set of NICs, as
+// on a switched fabric with per-peer connections).
+type ClusterConfig struct {
+	// Nodes is the rank count (>= 2).
+	Nodes int
+	// NICs lists the rail models installed per node pair.
+	NICs []simnet.NICParams
+	// Host parameterizes every host; zero value gets simnet.Opteron().
+	Host simnet.HostParams
+	// Strategy constructs the scheduler, one per engine.
+	Strategy func() core.Strategy
+	// AggThreshold and MinChunk override engine defaults when > 0.
+	AggThreshold int
+	MinChunk     int
+	// Sample runs init-time sampling per rail and installs the profiles.
+	Sample bool
+}
+
+// Cluster is an N-node simulated platform, fully connected.
+type Cluster struct {
+	W       *des.World
+	Hosts   []*simnet.Host
+	Engines []*core.Engine
+	// Gates[i][j] is node i's gate to node j (nil on the diagonal).
+	Gates [][]*core.Gate
+}
+
+// NewCluster builds the platform described by cfg.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Nodes < 2 {
+		panic("bench: ClusterConfig.Nodes must be >= 2")
+	}
+	if cfg.Strategy == nil {
+		panic("bench: ClusterConfig.Strategy is required")
+	}
+	if len(cfg.NICs) == 0 {
+		panic("bench: ClusterConfig.NICs is empty")
+	}
+	if cfg.Host == (simnet.HostParams{}) {
+		cfg.Host = simnet.Opteron()
+	}
+	w := des.NewWorld()
+	c := &Cluster{W: w}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.Hosts = append(c.Hosts, simnet.NewHost(w, fmt.Sprintf("n%d", i), cfg.Host))
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		eng := core.New(core.Config{
+			Strategy: cfg.Strategy(), Clock: c.Hosts[i],
+			AggThreshold: cfg.AggThreshold, MinChunk: cfg.MinChunk,
+		})
+		c.Engines = append(c.Engines, eng)
+		c.Gates = append(c.Gates, make([]*core.Gate, cfg.Nodes))
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		for j := i + 1; j < cfg.Nodes; j++ {
+			gi := c.Engines[i].NewGate(fmt.Sprintf("n%d", j))
+			gj := c.Engines[j].NewGate(fmt.Sprintf("n%d", i))
+			for _, np := range cfg.NICs {
+				ni := c.Hosts[i].NewNIC(np)
+				nj := c.Hosts[j].NewNIC(np)
+				simnet.Connect(ni, nj)
+				var prof core.Profile
+				if cfg.Sample {
+					prof = sampling.SampleNICPair(w, ni, nj, nil)
+				}
+				ri := gi.AddRail(simdrv.New(ni))
+				rj := gj.AddRail(simdrv.New(nj))
+				if cfg.Sample {
+					ri.SetProfile(prof)
+					rj.SetProfile(prof)
+				}
+			}
+			c.Gates[i][j] = gi
+			c.Gates[j][i] = gj
+		}
+	}
+	return c
+}
+
+// Size returns the rank count.
+func (c *Cluster) Size() int { return len(c.Engines) }
+
+// Comm builds an mpl communicator for the given rank, with blocking
+// waits bound to simulated process p.
+func (c *Cluster) Comm(rank int, p *des.Proc) *mpl.Comm {
+	comm, err := mpl.New(c.Engines[rank], rank, c.Gates[rank], func(reqs ...core.Request) {
+		WaitReqs(p, reqs...)
+	})
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	return comm
+}
+
+// SpawnRanks starts one simulated process per rank running body and
+// returns once all are spawned; call c.W.Run() to execute.
+func (c *Cluster) SpawnRanks(body func(p *des.Proc, comm *mpl.Comm)) {
+	for rank := 0; rank < c.Size(); rank++ {
+		rank := rank
+		c.W.Spawn(fmt.Sprintf("rank%d", rank), func(p *des.Proc) {
+			body(p, c.Comm(rank, p))
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"newmad/internal/des"
+)
+
+// MixedWorkload models the situation the paper's strategies are really
+// for: a stream of small control messages interleaved with bulk
+// transfers. The sender submits bursts of small messages continuously
+// while pushing a sequence of large payloads; the result is the virtual
+// time to complete all bulk transfers (the smalls are flow traffic).
+type MixedWorkload struct {
+	// SmallSize and SmallEvery: one small message is submitted every
+	// SmallEvery nanoseconds of virtual time (defaults 256 B / 2 us).
+	SmallSize  int
+	SmallEvery des.Time
+	// BulkSize and BulkCount: the measured payloads (defaults 2 MB x 4).
+	BulkSize  int
+	BulkCount int
+}
+
+func (m *MixedWorkload) defaults() {
+	if m.SmallSize <= 0 {
+		m.SmallSize = 256
+	}
+	if m.SmallEvery <= 0 {
+		m.SmallEvery = 2000
+	}
+	if m.BulkSize <= 0 {
+		m.BulkSize = 2 << 20
+	}
+	if m.BulkCount <= 0 {
+		m.BulkCount = 4
+	}
+}
+
+// Run executes the workload on the pair and returns the virtual time
+// from first bulk submit to last bulk completion at the receiver.
+func (m *MixedWorkload) Run(p *Pair) des.Time {
+	m.defaults()
+	const (
+		smallTag = 1
+		bulkTag  = 2
+	)
+	small := pattern(m.SmallSize, 0x11)
+	bulk := pattern(m.BulkSize, 0x22)
+	recvSmall := make([]byte, m.SmallSize)
+	recvBulk := make([]byte, m.BulkSize)
+
+	var start, finish des.Time
+	stop := false
+
+	p.W.Spawn("receiver", func(pr *des.Proc) {
+		// Bulk receives are what we time; the small stream is flow
+		// traffic drained by the sink below until told to stop.
+		for i := 0; i < m.BulkCount; i++ {
+			rr := p.GateBA.Irecv(bulkTag, recvBulk)
+			WaitReqs(pr, rr)
+			checkPayload(recvBulk[:m.BulkSize], 0x22)
+		}
+		finish = pr.Now()
+		stop = true
+	})
+	p.W.Spawn("small-sink", func(pr *des.Proc) {
+		for !stop {
+			rr := p.GateBA.Irecv(smallTag, recvSmall)
+			WaitReqs(pr, rr)
+		}
+	})
+	p.W.Spawn("small-source", func(pr *des.Proc) {
+		for !stop {
+			sr := p.GateAB.Isend(smallTag, small)
+			WaitReqs(pr, sr)
+			pr.Sleep(m.SmallEvery)
+		}
+		// Poison: satisfy the sink's last pending receive so every
+		// process drains and the world can empty.
+		WaitReqs(pr, p.GateAB.Isend(smallTag, small))
+	})
+	p.W.Spawn("bulk-source", func(pr *des.Proc) {
+		start = pr.Now()
+		for i := 0; i < m.BulkCount; i++ {
+			sr := p.GateAB.Isend(bulkTag, bulk)
+			WaitReqs(pr, sr)
+		}
+	})
+	p.W.Run()
+	return finish - start
+}

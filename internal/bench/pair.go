@@ -1,0 +1,109 @@
+// Package bench builds the paper's experiments: ping-pong sweeps over
+// pairs of simulated hosts, one figure definition per evaluation figure,
+// and text/CSV rendering of the resulting series.
+package bench
+
+import (
+	"fmt"
+
+	"newmad/internal/core"
+	"newmad/internal/des"
+	"newmad/internal/drivers/simdrv"
+	"newmad/internal/sampling"
+	"newmad/internal/simnet"
+)
+
+// PairConfig describes a two-node experiment platform.
+type PairConfig struct {
+	// Host parameterizes both hosts; zero value gets simnet.Opteron().
+	Host simnet.HostParams
+	// NICs lists the rail models; one NIC of each is installed on both
+	// hosts and connected back to back.
+	NICs []simnet.NICParams
+	// Strategy constructs the optimizing scheduler, one per engine.
+	Strategy func() core.Strategy
+	// AggThreshold and MinChunk override the engine defaults when > 0.
+	AggThreshold int
+	MinChunk     int
+	// Sample, when set, runs driver-level sampling at initialization and
+	// installs the measured profiles on every rail (paper §3.4).
+	Sample bool
+	// TraceA and TraceB, when set, receive engine trace events.
+	TraceA, TraceB func(core.TraceEvent)
+}
+
+// Pair is a two-node simulated platform with engines on both sides.
+type Pair struct {
+	W              *des.World
+	HostA, HostB   *simnet.Host
+	EngA, EngB     *core.Engine
+	GateAB, GateBA *core.Gate
+}
+
+// NewPair builds the platform described by cfg.
+func NewPair(cfg PairConfig) *Pair {
+	if cfg.Strategy == nil {
+		panic("bench: PairConfig.Strategy is required")
+	}
+	if len(cfg.NICs) == 0 {
+		panic("bench: PairConfig.NICs is empty")
+	}
+	if cfg.Host == (simnet.HostParams{}) {
+		cfg.Host = simnet.Opteron()
+	}
+	w := des.NewWorld()
+	p := &Pair{
+		W:     w,
+		HostA: simnet.NewHost(w, "A", cfg.Host),
+		HostB: simnet.NewHost(w, "B", cfg.Host),
+	}
+	var nicsA, nicsB []*simnet.NIC
+	for _, np := range cfg.NICs {
+		na := p.HostA.NewNIC(np)
+		nb := p.HostB.NewNIC(np)
+		simnet.Connect(na, nb)
+		nicsA = append(nicsA, na)
+		nicsB = append(nicsB, nb)
+	}
+	var profiles []core.Profile
+	if cfg.Sample {
+		for i := range nicsA {
+			prof := sampling.SampleNICPair(w, nicsA[i], nicsB[i], nil)
+			profiles = append(profiles, prof)
+		}
+	}
+	p.EngA = core.New(core.Config{
+		Strategy: cfg.Strategy(), Clock: p.HostA,
+		AggThreshold: cfg.AggThreshold, MinChunk: cfg.MinChunk, Trace: cfg.TraceA,
+	})
+	p.EngB = core.New(core.Config{
+		Strategy: cfg.Strategy(), Clock: p.HostB,
+		AggThreshold: cfg.AggThreshold, MinChunk: cfg.MinChunk, Trace: cfg.TraceB,
+	})
+	p.GateAB = p.EngA.NewGate("B")
+	p.GateBA = p.EngB.NewGate("A")
+	for i := range nicsA {
+		ra := p.GateAB.AddRail(simdrv.New(nicsA[i]))
+		rb := p.GateBA.AddRail(simdrv.New(nicsB[i]))
+		if cfg.Sample {
+			ra.SetProfile(profiles[i])
+			rb.SetProfile(profiles[i])
+		}
+	}
+	return p
+}
+
+// WaitReqs parks the process until every request has completed,
+// panicking on request errors (benchmarks must not silently lose data).
+func WaitReqs(p *des.Proc, reqs ...core.Request) {
+	for _, r := range reqs {
+		sig := des.NewSignal(p.World())
+		r.OnComplete(func() { sig.Broadcast() })
+		for !r.Done() {
+			p.Wait(sig)
+		}
+		if err := r.Err(); err != nil {
+			panic(fmt.Sprintf("bench: request failed: %v", err))
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package core
+
+import "fmt"
+
+// Unit is one schedulable piece of outgoing work: an application segment
+// awaiting transmission, or a rendezvous body that has been granted and is
+// being (possibly partially) shipped as chunks.
+type Unit struct {
+	Req  *SendReq
+	Hdr  Header // prototype KData header for the segment
+	Data []byte
+
+	// rdv body state
+	RdvID    uint64
+	spans    []span // unscheduled byte ranges
+	inflight int    // chunks posted but not yet completed
+}
+
+// span is a half-open byte range [from, to).
+type span struct{ from, to int }
+
+// Len returns the segment length in bytes.
+func (u *Unit) Len() int { return len(u.Data) }
+
+// Remaining returns the unscheduled byte count of a body unit.
+func (u *Unit) Remaining() int {
+	n := 0
+	for _, s := range u.spans {
+		n += s.to - s.from
+	}
+	return n
+}
+
+// String implements fmt.Stringer.
+func (u *Unit) String() string {
+	return fmt.Sprintf("unit(tag=%d msg=%d seg=%d len=%d rem=%d)", u.Hdr.Tag, u.Hdr.MsgID, u.Hdr.SegIndex, len(u.Data), u.Remaining())
+}
+
+// Backlog is the per-gate accumulation of outgoing work the optimizing
+// scheduler rewrites into packets. It mirrors the paper's "waiting packs"
+// list: requests pile up here while NICs are busy, and the strategy is
+// consulted whenever a NIC goes idle.
+//
+// Strategies access the backlog through its methods; the queues preserve
+// submission order but strategies are free to pop out of order (the paper
+// explicitly allows reordering and out-of-order sending).
+type Backlog struct {
+	gate   *Gate
+	ctrl   []*Packet // ready control packets (RTS is built lazily, CTS here)
+	segs   []*Unit   // pending eager-candidate segments, FIFO
+	bodies []*Unit   // granted rendezvous bodies
+}
+
+// Gate returns the gate this backlog feeds.
+func (b *Backlog) Gate() *Gate { return b.gate }
+
+// Rails returns the gate's rails (including down rails; check Rail.Down).
+func (b *Backlog) Rails() []*Rail { return b.gate.rails }
+
+// AggThreshold returns the engine's aggregation limit: the largest
+// contiguous packet a strategy should build by copying segments together.
+func (b *Backlog) AggThreshold() int { return b.gate.eng.cfg.AggThreshold }
+
+// MinChunk returns the smallest rendezvous chunk a strategy should carve,
+// so stripping never drops back into the PIO regime.
+func (b *Backlog) MinChunk() int { return b.gate.eng.cfg.MinChunk }
+
+// PushCtrl queues a ready control packet (highest priority).
+func (b *Backlog) PushCtrl(p *Packet) { b.ctrl = append(b.ctrl, p) }
+
+// PopCtrl dequeues the next control packet, or nil.
+func (b *Backlog) PopCtrl() *Packet {
+	if len(b.ctrl) == 0 {
+		return nil
+	}
+	p := b.ctrl[0]
+	b.ctrl = b.ctrl[1:]
+	return p
+}
+
+// SegCount reports the number of pending segments.
+func (b *Backlog) SegCount() int { return len(b.segs) }
+
+// Seg returns the i-th pending segment without removing it.
+func (b *Backlog) Seg(i int) *Unit { return b.segs[i] }
+
+// PushSeg appends a segment to the pending queue.
+func (b *Backlog) PushSeg(u *Unit) { b.segs = append(b.segs, u) }
+
+// PopSeg removes and returns the head segment, or nil.
+func (b *Backlog) PopSeg() *Unit {
+	if len(b.segs) == 0 {
+		return nil
+	}
+	u := b.segs[0]
+	b.segs = b.segs[1:]
+	return u
+}
+
+// TakeSeg removes and returns the i-th pending segment.
+func (b *Backlog) TakeSeg(i int) *Unit {
+	u := b.segs[i]
+	b.segs = append(b.segs[:i], b.segs[i+1:]...)
+	return u
+}
+
+// BodyCount reports the number of granted rendezvous bodies.
+func (b *Backlog) BodyCount() int { return len(b.bodies) }
+
+// Body returns the i-th granted body.
+func (b *Backlog) Body(i int) *Unit { return b.bodies[i] }
+
+// Empty reports whether nothing at all is pending.
+func (b *Backlog) Empty() bool {
+	return len(b.ctrl) == 0 && len(b.segs) == 0 && len(b.bodies) == 0
+}
+
+// MakeEager builds a data packet from one or more pending segments that
+// the caller has popped. With a single unit the payload aliases the
+// application buffer (zero copy). With several, the segments are copied
+// into one contiguous payload of [header|bytes] records — the paper's
+// opportunistic aggregation — and the copy cost is charged to the host
+// CPU.
+func (b *Backlog) MakeEager(units ...*Unit) *Packet {
+	if len(units) == 0 {
+		panic("core: MakeEager with no units")
+	}
+	if len(units) == 1 {
+		u := units[0]
+		p := &Packet{Hdr: u.Hdr, Payload: u.Data}
+		p.Hdr.Kind = KData
+		p.Hdr.Agg = 0
+		p.Hdr.PayLen = uint32(len(u.Data))
+		p.senders = []senderRef{{req: u.Req, bytes: len(u.Data)}}
+		return p
+	}
+	total := 0
+	for _, u := range units {
+		total += HeaderLen + len(u.Data)
+	}
+	payload := make([]byte, total)
+	off := 0
+	p := &Packet{}
+	for _, u := range units {
+		h := u.Hdr
+		h.Kind = KData
+		h.Agg = 0
+		h.PayLen = uint32(len(u.Data))
+		off += EncodeHeader(payload[off:], &h)
+		off += copy(payload[off:], u.Data)
+		p.senders = append(p.senders, senderRef{req: u.Req, bytes: len(u.Data)})
+	}
+	b.gate.eng.clock.Memcpy(total)
+	p.Hdr = Header{Kind: KData, Agg: uint16(len(units)), Tag: units[0].Hdr.Tag, MsgID: units[0].Hdr.MsgID, PayLen: uint32(total)}
+	p.Payload = payload
+	return p
+}
+
+// StartRdv registers u as a pending rendezvous body and returns the RTS
+// packet announcing it. The body becomes schedulable (appears in Bodies)
+// when the peer's CTS arrives.
+func (b *Backlog) StartRdv(u *Unit) *Packet {
+	g := b.gate
+	g.nextRdv++
+	u.RdvID = g.nextRdv
+	g.rdvSend[u.RdvID] = u
+	h := u.Hdr
+	h.Kind = KRTS
+	h.RdvID = u.RdvID
+	h.PayLen = 0
+	return &Packet{Hdr: h, senders: []senderRef{{req: u.Req, bytes: 0}}}
+}
+
+// ChunkFrom carves the next chunk of at most max bytes from body u and
+// returns it as a KChunk packet. When the body has no unscheduled bytes
+// left it is removed from the granted list. The chunk payload aliases the
+// application buffer.
+func (b *Backlog) ChunkFrom(u *Unit, max int) *Packet {
+	if len(u.spans) == 0 {
+		panic("core: ChunkFrom on drained body " + u.String())
+	}
+	s := &u.spans[0]
+	n := s.to - s.from
+	if max > 0 && n > max {
+		n = max
+	}
+	off := s.from
+	s.from += n
+	if s.from == s.to {
+		u.spans = u.spans[1:]
+	}
+	h := u.Hdr
+	h.Kind = KChunk
+	h.RdvID = u.RdvID
+	h.Off = uint64(off)
+	h.PayLen = uint32(n)
+	p := &Packet{Hdr: h, Payload: u.Data[off : off+n]}
+	p.senders = []senderRef{{req: u.Req, bytes: n}}
+	u.inflight++
+	if len(u.spans) == 0 {
+		b.removeBody(u)
+	}
+	return p
+}
+
+// ChunkSpan carves the specific byte range [from, to) from body u as a
+// KChunk packet. The range must lie within a single unscheduled span
+// (strategies planning pinned per-rail shares carve ranges they computed
+// from the spans). When the body has no unscheduled bytes left it is
+// removed from the granted list.
+func (b *Backlog) ChunkSpan(u *Unit, from, to int) *Packet {
+	if to <= from {
+		panic(fmt.Sprintf("core: ChunkSpan empty range [%d,%d)", from, to))
+	}
+	found := -1
+	for i, s := range u.spans {
+		if s.from <= from && to <= s.to {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		panic(fmt.Sprintf("core: ChunkSpan [%d,%d) not unscheduled in %s", from, to, u))
+	}
+	s := u.spans[found]
+	repl := make([]span, 0, 2)
+	if s.from < from {
+		repl = append(repl, span{s.from, from})
+	}
+	if to < s.to {
+		repl = append(repl, span{to, s.to})
+	}
+	u.spans = append(u.spans[:found], append(repl, u.spans[found+1:]...)...)
+	h := u.Hdr
+	h.Kind = KChunk
+	h.RdvID = u.RdvID
+	h.Off = uint64(from)
+	h.PayLen = uint32(to - from)
+	p := &Packet{Hdr: h, Payload: u.Data[from:to]}
+	p.senders = []senderRef{{req: u.Req, bytes: to - from}}
+	u.inflight++
+	if len(u.spans) == 0 {
+		b.removeBody(u)
+	}
+	return p
+}
+
+// FirstSpan reports the first unscheduled range of a body (ok=false when
+// drained).
+func (u *Unit) FirstSpan() (from, to int, ok bool) {
+	if len(u.spans) == 0 {
+		return 0, 0, false
+	}
+	return u.spans[0].from, u.spans[0].to, true
+}
+
+// Grant makes a rendezvous body schedulable. The engine calls this when
+// the peer's CTS arrives; tests and alternative engines may call it
+// directly to exercise strategies without a handshake.
+func (b *Backlog) Grant(u *Unit) {
+	if u.spans == nil {
+		u.spans = []span{{0, len(u.Data)}}
+	}
+	b.bodies = append(b.bodies, u)
+}
+
+// regrant returns a byte range of a body to the schedulable pool (send
+// failure recovery).
+func (b *Backlog) regrant(u *Unit, from, to int) {
+	u.spans = append(u.spans, span{from, to})
+	for _, bu := range b.bodies {
+		if bu == u {
+			return
+		}
+	}
+	b.bodies = append(b.bodies, u)
+}
+
+// removeBody drops u from the granted list.
+func (b *Backlog) removeBody(u *Unit) {
+	for i, bu := range b.bodies {
+		if bu == u {
+			b.bodies = append(b.bodies[:i], b.bodies[i+1:]...)
+			return
+		}
+	}
+}

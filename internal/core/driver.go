@@ -1,0 +1,60 @@
+package core
+
+import "time"
+
+// Profile describes a rail's performance characteristics, either declared
+// by the driver or measured by the sampling module at initialization time
+// (paper §3.4: strategies use "data sampling and driver capabilities
+// provided by the underlying layer").
+type Profile struct {
+	// Name labels the underlying network ("myri10g", "tcp0", ...).
+	Name string
+	// Latency is the one-way small-message latency.
+	Latency time.Duration
+	// Bandwidth is the sustained large-transfer rate in bytes per second.
+	Bandwidth float64
+	// EagerMax is the largest payload to send eagerly; larger segments go
+	// through the rendezvous protocol.
+	EagerMax int
+	// PIOMax is the largest wire packet the driver sends with programmed
+	// I/O. Strategies keep rendezvous chunks above this so large
+	// transfers stay on the DMA path (paper §3.4).
+	PIOMax int
+}
+
+// Events is the engine-side callback interface a driver reports into.
+// Drivers must invoke these serially (the simulation kernel and the
+// engine's Poll loop both guarantee that).
+type Events interface {
+	// SendComplete reports that the packet posted on rail is fully sent
+	// and the rail's send track is idle again.
+	SendComplete(rail int)
+	// SendFailed reports that the posted packet could not be delivered;
+	// the rail should be considered down.
+	SendFailed(rail int, p *Packet, err error)
+	// Arrive delivers an incoming packet on rail.
+	Arrive(rail int, p *Packet)
+}
+
+// Driver is the transmit-layer interface: one point-to-point rail to a
+// peer. The engine posts at most one outstanding Send per driver and
+// waits for SendComplete before posting the next, mirroring
+// NewMadeleine's one-packet-per-track discipline.
+type Driver interface {
+	// Name identifies the driver instance.
+	Name() string
+	// Profile reports the rail's characteristics.
+	Profile() Profile
+	// Bind attaches the engine callbacks; called once before any Send.
+	Bind(rail int, ev Events)
+	// Send posts one packet. The payload must not be modified until
+	// SendComplete. An error means the packet was not accepted (rail
+	// down) and no completion will follow.
+	Send(p *Packet) error
+	// Poll makes progress and may invoke Events callbacks. Real drivers
+	// drain completion and arrival queues here; simulated drivers are
+	// event-driven and treat Poll as a no-op.
+	Poll()
+	// Close releases driver resources.
+	Close() error
+}

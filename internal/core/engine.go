@@ -1,0 +1,449 @@
+// Package core implements the NewMadeleine communication engine: a
+// three-layer library where the top (collect) layer gathers application
+// segments, a pluggable optimizing scheduler (Strategy) rewrites them into
+// packets, and a transmit layer of drivers moves packets over rails. The
+// defining trait, reproduced from the paper, is that scheduling decisions
+// are taken when a NIC becomes idle, not when the application calls the
+// API: requests accumulate in a backlog while rails are busy, giving the
+// strategy an optimization window.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Strategy is the optimizing scheduler (required).
+	Strategy Strategy
+	// Clock provides time and CPU cost accounting; defaults to the wall
+	// clock.
+	Clock Clock
+	// AggThreshold is the largest aggregated packet strategies should
+	// build by copying segments together (default 16 KiB, the paper's
+	// observed copy-vs-resend break-even region).
+	AggThreshold int
+	// MinChunk is the smallest rendezvous chunk strategies should carve
+	// when stripping a body across rails (default 16 KiB), keeping
+	// chunks on the DMA path.
+	MinChunk int
+	// Trace, when set, receives engine events (sends, arrivals,
+	// completions). Must be fast; called under the engine lock.
+	Trace func(TraceEvent)
+}
+
+// TraceEvent is one engine occurrence for diagnostics and tests.
+type TraceEvent struct {
+	Now  int64  // engine clock, ns
+	Ev   string // "post", "sent", "arrive", "rdv-grant", "fail"
+	Gate string
+	Rail int
+	Kind Kind
+	Agg  int
+	Len  int // payload bytes
+	Tag  uint32
+	Msg  uint64
+}
+
+// Engine is one node's communication library instance.
+type Engine struct {
+	mu    sync.Mutex
+	cfg   Config
+	clock Clock
+	strat Strategy
+	gates []*Gate
+}
+
+// ErrRailDown reports a send attempted on a failed rail.
+var ErrRailDown = errors.New("core: rail down")
+
+// New creates an engine. It panics if cfg.Strategy is nil.
+func New(cfg Config) *Engine {
+	if cfg.Strategy == nil {
+		panic("core: Config.Strategy is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = NewRealClock()
+	}
+	if cfg.AggThreshold <= 0 {
+		cfg.AggThreshold = 16 << 10
+	}
+	if cfg.MinChunk <= 0 {
+		cfg.MinChunk = 16 << 10
+	}
+	return &Engine{cfg: cfg, clock: cfg.Clock, strat: cfg.Strategy}
+}
+
+// Clock returns the engine clock.
+func (e *Engine) Clock() Clock { return e.clock }
+
+// Strategy returns the configured strategy.
+func (e *Engine) Strategy() Strategy { return e.strat }
+
+// NewGate creates a gate toward the named peer.
+func (e *Engine) NewGate(name string) *Gate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g := newGate(e, name)
+	e.gates = append(e.gates, g)
+	return g
+}
+
+// Gates returns the engine's gates.
+func (e *Engine) Gates() []*Gate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Gate(nil), e.gates...)
+}
+
+// Poll makes progress on every driver. Real-time programs call this (or
+// Wait, which calls it) to pump completions and arrivals; simulated
+// drivers are event-driven and need no polling.
+func (e *Engine) Poll() {
+	e.mu.Lock()
+	gates := append([]*Gate(nil), e.gates...)
+	e.mu.Unlock()
+	for _, g := range gates {
+		for _, r := range g.rails {
+			r.drv.Poll()
+		}
+	}
+}
+
+// Wait polls until the request completes and returns its error. Only for
+// real-time (non-simulated) engines; simulation benchmarks wait on
+// virtual-time signals instead. The loop spins for the latency-critical
+// window, then backs off to short sleeps so long rendezvous on shared
+// CPUs don't starve the peer process.
+func (e *Engine) Wait(req Request) error {
+	for spins := 0; !req.Done(); spins++ {
+		e.Poll()
+		if spins < 2000 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	return req.Err()
+}
+
+// WaitAll waits for several requests.
+func (e *Engine) WaitAll(reqs ...Request) error {
+	var first error
+	for _, r := range reqs {
+		if err := e.Wait(r); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close closes every driver of every gate.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var first error
+	for _, g := range e.gates {
+		for _, r := range g.rails {
+			if err := r.drv.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+func (e *Engine) trace(ev string, g *Gate, rail int, h Header, n int) {
+	if e.cfg.Trace == nil {
+		return
+	}
+	e.cfg.Trace(TraceEvent{
+		Now: e.clock.Now(), Ev: ev, Gate: g.name, Rail: rail,
+		Kind: h.Kind, Agg: int(h.Agg), Len: n, Tag: h.Tag, Msg: h.MsgID,
+	})
+}
+
+// kick offers every idle rail to the strategy until it declines. Called
+// with the engine lock held, after anything that may create work or free
+// a rail: this is the global scheduler reacting to NIC activity.
+func (e *Engine) kick(g *Gate) {
+	for {
+		progress := false
+		for _, r := range g.rails {
+			if r.busy || r.down {
+				continue
+			}
+			p := e.strat.Schedule(g.backlog, r)
+			if p == nil {
+				continue
+			}
+			e.post(r, p)
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// post hands a packet to a rail's driver and updates request accounting.
+func (e *Engine) post(r *Rail, p *Packet) {
+	for _, ref := range p.senders {
+		if ref.req != nil {
+			ref.req.queuedBytes -= ref.bytes
+			ref.req.pendingPkts++
+		}
+	}
+	r.busy = true
+	r.current = p
+	r.pktsSent++
+	r.bytesSent += uint64(len(p.Payload))
+	r.gate.stats.BytesSent += uint64(len(p.Payload))
+	if p.Hdr.Agg > 1 {
+		r.gate.stats.AggPackets++
+		r.gate.stats.AggSegments += uint64(p.Hdr.Agg)
+	}
+	if p.Hdr.Kind == KRTS {
+		r.gate.stats.RdvStarted++
+	}
+	e.trace("post", r.gate, r.index, p.Hdr, len(p.Payload))
+	if err := r.drv.Send(p); err != nil {
+		e.failRail(r, p, err)
+	}
+}
+
+// sendComplete is the driver callback for a finished send.
+func (e *Engine) sendComplete(r *Rail) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := r.current
+	if p == nil {
+		panic(fmt.Sprintf("core: SendComplete on idle %v", r))
+	}
+	r.current = nil
+	r.busy = false
+	e.trace("sent", r.gate, r.index, p.Hdr, len(p.Payload))
+	if p.Hdr.Kind == KChunk {
+		if u := r.gate.rdvSend[p.Hdr.RdvID]; u != nil {
+			u.inflight--
+			if u.inflight == 0 && len(u.spans) == 0 {
+				delete(r.gate.rdvSend, p.Hdr.RdvID)
+			}
+		}
+	}
+	for _, ref := range p.senders {
+		if ref.req != nil {
+			ref.req.sentBytes += ref.bytes
+			ref.req.pendingPkts--
+			ref.req.maybeComplete()
+		}
+	}
+	e.kick(r.gate)
+}
+
+// sendFailed is the driver callback for a failed posted send.
+func (e *Engine) sendFailed(r *Rail, p *Packet, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.failRail(r, p, err)
+}
+
+// failRail marks the rail down and requeues the failed packet's work onto
+// the surviving rails. Rendezvous chunks are returned to their body;
+// eager payloads are resubmitted as segments. Lock held.
+func (e *Engine) failRail(r *Rail, p *Packet, err error) {
+	g := r.gate
+	r.down = true
+	r.busy = false
+	r.current = nil
+	e.trace("fail", g, r.index, p.Hdr, len(p.Payload))
+	for _, ref := range p.senders {
+		if ref.req != nil {
+			ref.req.pendingPkts--
+		}
+	}
+	if g.UpRails() == 0 {
+		for _, ref := range p.senders {
+			if ref.req != nil {
+				ref.req.complete(fmt.Errorf("core: all rails down: %w", err))
+			}
+		}
+		return
+	}
+	e.requeue(g, p)
+	e.kick(g)
+}
+
+// requeue returns a failed packet's contents to the backlog.
+func (e *Engine) requeue(g *Gate, p *Packet) {
+	switch p.Hdr.Kind {
+	case KChunk:
+		u := g.rdvSend[p.Hdr.RdvID]
+		if u == nil {
+			return
+		}
+		u.inflight--
+		off := int(p.Hdr.Off)
+		g.backlog.regrant(u, off, off+len(p.Payload))
+		if u.Req != nil {
+			u.Req.queuedBytes += len(p.Payload)
+		}
+	case KRTS:
+		// The peer never saw the RTS; resubmit the whole segment.
+		u := g.rdvSend[p.Hdr.RdvID]
+		delete(g.rdvSend, p.Hdr.RdvID)
+		if u != nil {
+			h := u.Hdr
+			h.Kind = KData
+			e.strat.Submit(g.backlog, &Unit{Req: u.Req, Hdr: h, Data: u.Data})
+		}
+	case KData:
+		for _, u := range unpackData(p) {
+			e.strat.Submit(g.backlog, u)
+			if u.Req != nil {
+				u.Req.queuedBytes += len(u.Data)
+			}
+		}
+	case KCTS:
+		g.backlog.PushCtrl(p)
+	}
+}
+
+// unpackData reconstructs units from a (possibly aggregated) data packet.
+func unpackData(p *Packet) []*Unit {
+	if p.Hdr.Agg == 0 {
+		req := (*SendReq)(nil)
+		if len(p.senders) == 1 {
+			req = p.senders[0].req
+		}
+		return []*Unit{{Req: req, Hdr: p.Hdr, Data: p.Payload}}
+	}
+	var units []*Unit
+	buf := p.Payload
+	for i := 0; i < int(p.Hdr.Agg); i++ {
+		h, err := DecodeHeader(buf)
+		if err != nil {
+			break
+		}
+		data := buf[HeaderLen : HeaderLen+int(h.PayLen)]
+		buf = buf[HeaderLen+int(h.PayLen):]
+		var req *SendReq
+		if i < len(p.senders) {
+			req = p.senders[i].req
+		}
+		units = append(units, &Unit{Req: req, Hdr: h, Data: data})
+	}
+	return units
+}
+
+// arrive is the driver callback for an incoming packet.
+func (e *Engine) arrive(r *Rail, p *Packet) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g := r.gate
+	e.trace("arrive", g, r.index, p.Hdr, len(p.Payload))
+	switch p.Hdr.Kind {
+	case KData:
+		if p.Hdr.Agg == 0 {
+			e.arriveData(g, p.Hdr, p.Payload)
+		} else {
+			buf := p.Payload
+			for i := 0; i < int(p.Hdr.Agg); i++ {
+				h, err := DecodeHeader(buf)
+				if err != nil {
+					panic(fmt.Sprintf("core: corrupt aggregate record %d: %v", i, err))
+				}
+				e.arriveData(g, h, buf[HeaderLen:HeaderLen+int(h.PayLen)])
+				buf = buf[HeaderLen+int(h.PayLen):]
+			}
+		}
+	case KRTS:
+		if req := g.findPosted(p.Hdr.Tag, p.Hdr.MsgID); req != nil {
+			e.acceptRdv(g, req, p.Hdr)
+			e.kick(g)
+		} else {
+			em := g.early(p.Hdr.Tag, p.Hdr.MsgID)
+			em.rts = append(em.rts, p.Hdr)
+		}
+	case KCTS:
+		u := g.rdvSend[p.Hdr.RdvID]
+		if u == nil {
+			panic(fmt.Sprintf("core: CTS for unknown rdv %d", p.Hdr.RdvID))
+		}
+		e.trace("rdv-grant", g, r.index, p.Hdr, int(u.Hdr.SegLen))
+		g.backlog.Grant(u)
+		e.kick(g)
+	case KChunk:
+		sink := g.rdvRecv[p.Hdr.RdvID]
+		if sink == nil {
+			panic(fmt.Sprintf("core: chunk for unknown rdv %d", p.Hdr.RdvID))
+		}
+		sink.req.writeAt(sink.base+p.Hdr.Off, p.Payload)
+		sink.got += uint64(len(p.Payload))
+		sink.req.gotBytes += len(p.Payload)
+		if sink.got >= sink.need {
+			delete(g.rdvRecv, p.Hdr.RdvID)
+			// The sender's rdvSend entry is cleaned when its request
+			// completes; see sendComplete accounting.
+		}
+		e.finishRecv(g, sink.req)
+	default:
+		panic(fmt.Sprintf("core: arrive: bad kind %v", p.Hdr.Kind))
+	}
+}
+
+// arriveData routes one eager segment record to its receive, or buffers
+// it as unexpected (copying, since the wire buffer is transient).
+func (e *Engine) arriveData(g *Gate, h Header, payload []byte) {
+	if req := g.findPosted(h.Tag, h.MsgID); req != nil {
+		e.placeData(g, req, h, payload)
+		return
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	e.clock.Memcpy(len(cp))
+	em := g.early(h.Tag, h.MsgID)
+	em.data = append(em.data, &Packet{Hdr: h, Payload: cp})
+}
+
+// placeData copies an eager segment into the receive buffers.
+func (e *Engine) placeData(g *Gate, req *RecvReq, h Header, payload []byte) {
+	req.msgLen = int64(h.MsgLen)
+	if int(h.MsgLen) > req.capacity {
+		req.complete(fmt.Errorf("core: message %d bytes exceeds receive capacity %d", h.MsgLen, req.capacity))
+		g.dropPosted(req)
+		return
+	}
+	req.writeAt(h.MsgOff+h.Off, payload)
+	req.gotBytes += len(payload)
+	e.finishRecv(g, req)
+}
+
+// acceptRdv registers a rendezvous destination and queues the CTS reply.
+func (e *Engine) acceptRdv(g *Gate, req *RecvReq, h Header) {
+	req.msgLen = int64(h.MsgLen)
+	if int(h.MsgLen) > req.capacity {
+		req.complete(fmt.Errorf("core: message %d bytes exceeds receive capacity %d", h.MsgLen, req.capacity))
+		g.dropPosted(req)
+		return
+	}
+	g.rdvRecv[h.RdvID] = &rdvSink{req: req, base: h.MsgOff, need: h.SegLen}
+	cts := h
+	cts.Kind = KCTS
+	cts.PayLen = 0
+	g.backlog.PushCtrl(&Packet{Hdr: cts})
+}
+
+// finishRecv completes a receive once all bytes are in.
+func (e *Engine) finishRecv(g *Gate, req *RecvReq) {
+	if req.msgLen >= 0 && int64(req.gotBytes) >= req.msgLen {
+		g.dropPosted(req)
+		g.stats.MsgsRecv++
+		g.stats.BytesRecv += uint64(req.gotBytes)
+		req.complete(nil)
+	}
+}

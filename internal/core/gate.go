@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Gate is a connection to one peer: the set of rails reaching it plus the
+// per-peer scheduling and matching state. The optimization strategy works
+// on the whole communication flow of the gate, regardless of tags — the
+// paper's "whole communication flow between pairs of machines".
+type Gate struct {
+	eng     *Engine
+	name    string
+	rails   []*Rail
+	backlog *Backlog
+
+	// send side
+	sendMsgID map[uint32]uint64
+	nextRdv   uint64
+	rdvSend   map[uint64]*Unit
+
+	// receive side
+	recvMsgID  map[uint32]uint64
+	posted     map[uint32][]*RecvReq
+	unexpected map[msgKey]*earlyMsg
+	rdvRecv    map[uint64]*rdvSink
+
+	stats GateStats
+}
+
+type msgKey struct {
+	tag uint32
+	msg uint64
+}
+
+// earlyMsg buffers arrivals for a message with no posted receive yet.
+type earlyMsg struct {
+	data []*Packet // copied KData records
+	rts  []Header
+}
+
+// rdvSink maps an accepted rendezvous onto its receive request.
+type rdvSink struct {
+	req  *RecvReq
+	base uint64 // message offset of the segment
+	need uint64
+	got  uint64
+}
+
+func newGate(eng *Engine, name string) *Gate {
+	g := &Gate{
+		eng:        eng,
+		name:       name,
+		sendMsgID:  make(map[uint32]uint64),
+		rdvSend:    make(map[uint64]*Unit),
+		recvMsgID:  make(map[uint32]uint64),
+		posted:     make(map[uint32][]*RecvReq),
+		unexpected: make(map[msgKey]*earlyMsg),
+		rdvRecv:    make(map[uint64]*rdvSink),
+	}
+	g.backlog = &Backlog{gate: g}
+	return g
+}
+
+// Name returns the peer label given to NewGate.
+func (g *Gate) Name() string { return g.name }
+
+// Engine returns the owning engine.
+func (g *Gate) Engine() *Engine { return g.eng }
+
+// Rails returns the gate's rails in AddRail order.
+func (g *Gate) Rails() []*Rail { return g.rails }
+
+// Backlog exposes the gate's backlog (mainly for tests and tooling).
+func (g *Gate) Backlog() *Backlog { return g.backlog }
+
+// AddRail attaches a driver as the gate's next rail and returns it.
+func (g *Gate) AddRail(drv Driver) *Rail {
+	g.eng.mu.Lock()
+	defer g.eng.mu.Unlock()
+	r := &Rail{gate: g, index: len(g.rails), drv: drv, profile: drv.Profile()}
+	g.rails = append(g.rails, r)
+	drv.Bind(r.index, railEvents{r})
+	return r
+}
+
+// UpRails returns the number of usable rails.
+func (g *Gate) UpRails() int {
+	n := 0
+	for _, r := range g.rails {
+		if !r.down {
+			n++
+		}
+	}
+	return n
+}
+
+// Isend submits a single-segment message on tag and returns its request.
+// data must stay untouched until the request completes.
+func (g *Gate) Isend(tag uint32, data []byte) *SendReq {
+	return g.Isendv(tag, [][]byte{data})
+}
+
+// Isendv submits one message made of the given segments, in order. This
+// is the collect layer's incremental message construction: each segment
+// becomes an independently schedulable unit, so strategies may aggregate,
+// reorder, balance or split them (paper §2).
+func (g *Gate) Isendv(tag uint32, segs [][]byte) *SendReq {
+	g.eng.mu.Lock()
+	defer g.eng.mu.Unlock()
+	if len(segs) == 0 {
+		segs = [][]byte{nil}
+	}
+	if len(segs) > 0xffff {
+		panic(fmt.Sprintf("core: %d segments exceeds the %d limit", len(segs), 0xffff))
+	}
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	msg := g.sendMsgID[tag]
+	g.sendMsgID[tag] = msg + 1
+	g.stats.MsgsSent++
+	req := &SendReq{gate: g, tag: tag, msg: msg, totalBytes: total, queuedBytes: total}
+	off := uint64(0)
+	for i, s := range segs {
+		u := &Unit{
+			Req:  req,
+			Data: s,
+			Hdr: Header{
+				Kind:     KData,
+				Tag:      tag,
+				MsgID:    msg,
+				SegIndex: uint16(i),
+				MsgSegs:  uint16(len(segs)),
+				MsgLen:   uint64(total),
+				MsgOff:   off,
+				SegLen:   uint64(len(s)),
+			},
+		}
+		off += uint64(len(s))
+		g.eng.strat.Submit(g.backlog, u)
+	}
+	g.eng.kick(g)
+	if total == 0 {
+		// A zero-byte message still sends one (empty) packet; completion
+		// follows from packet accounting.
+		_ = total
+	}
+	return req
+}
+
+// Irecv posts a receive for the next message on tag. buf must be large
+// enough for the whole message; the request completes once every byte
+// (across segments, aggregates and rendezvous chunks) has landed.
+func (g *Gate) Irecv(tag uint32, buf []byte) *RecvReq {
+	return g.Irecvv(tag, [][]byte{buf})
+}
+
+// Irecvv posts a scatter receive: the next message on tag lands across
+// the given buffers in order, mirroring the sender's incremental message
+// construction (NewMadeleine's unpack interface). The combined capacity
+// must cover the whole message.
+func (g *Gate) Irecvv(tag uint32, bufs [][]byte) *RecvReq {
+	g.eng.mu.Lock()
+	defer g.eng.mu.Unlock()
+	msg := g.recvMsgID[tag]
+	g.recvMsgID[tag] = msg + 1
+	capacity := 0
+	for _, b := range bufs {
+		capacity += len(b)
+	}
+	req := &RecvReq{gate: g, tag: tag, msg: msg, bufs: bufs, capacity: capacity, msgLen: -1}
+	g.posted[tag] = append(g.posted[tag], req)
+	if em, ok := g.unexpected[msgKey{tag, msg}]; ok {
+		delete(g.unexpected, msgKey{tag, msg})
+		for _, p := range em.data {
+			g.eng.placeData(g, req, p.Hdr, p.Payload)
+		}
+		for _, h := range em.rts {
+			g.eng.acceptRdv(g, req, h)
+		}
+		g.eng.kick(g)
+	}
+	return req
+}
+
+// NewMessage starts an incremental multi-segment message (pack interface).
+func (g *Gate) NewMessage(tag uint32) *Packer {
+	return &Packer{gate: g, tag: tag}
+}
+
+// Packer builds a message from segments added one at a time, mirroring
+// NewMadeleine's incremental pack interface. Send submits the message.
+type Packer struct {
+	gate *Gate
+	tag  uint32
+	segs [][]byte
+	sent bool
+}
+
+// Add appends a segment. The bytes must stay stable until the send
+// request completes.
+func (p *Packer) Add(seg []byte) *Packer {
+	if p.sent {
+		panic("core: Packer.Add after Send")
+	}
+	p.segs = append(p.segs, seg)
+	return p
+}
+
+// Len returns the total bytes added so far.
+func (p *Packer) Len() int {
+	n := 0
+	for _, s := range p.segs {
+		n += len(s)
+	}
+	return n
+}
+
+// Send submits the message and returns its request.
+func (p *Packer) Send() *SendReq {
+	if p.sent {
+		panic("core: Packer.Send called twice")
+	}
+	p.sent = true
+	return p.gate.Isendv(p.tag, p.segs)
+}
+
+// NewExtractor starts an incremental scatter receive (the unpack
+// counterpart of NewMessage): segment destination buffers are added one
+// at a time, then Recv posts the receive.
+func (g *Gate) NewExtractor(tag uint32) *Extractor {
+	return &Extractor{gate: g, tag: tag}
+}
+
+// Extractor builds the destination layout of an incoming message
+// segment by segment, mirroring the sender's Packer.
+type Extractor struct {
+	gate   *Gate
+	tag    uint32
+	bufs   [][]byte
+	posted bool
+}
+
+// Add appends a destination buffer for the next segment span.
+func (x *Extractor) Add(buf []byte) *Extractor {
+	if x.posted {
+		panic("core: Extractor.Add after Recv")
+	}
+	x.bufs = append(x.bufs, buf)
+	return x
+}
+
+// Cap returns the total capacity added so far.
+func (x *Extractor) Cap() int {
+	n := 0
+	for _, b := range x.bufs {
+		n += len(b)
+	}
+	return n
+}
+
+// Recv posts the scatter receive and returns its request.
+func (x *Extractor) Recv() *RecvReq {
+	if x.posted {
+		panic("core: Extractor.Recv called twice")
+	}
+	x.posted = true
+	return x.gate.Irecvv(x.tag, x.bufs)
+}
+
+// GateStats is a snapshot of a gate's activity counters.
+type GateStats struct {
+	MsgsSent     uint64
+	MsgsRecv     uint64
+	BytesSent    uint64
+	BytesRecv    uint64
+	PktsSent     uint64
+	RdvStarted   uint64
+	AggPackets   uint64 // posted packets carrying >1 segment record
+	AggSegments  uint64 // segment records carried inside aggregates
+	FailedRails  int
+	PendingSends int // packets currently in flight across rails
+}
+
+// Stats returns a snapshot of the gate's counters.
+func (g *Gate) Stats() GateStats {
+	g.eng.mu.Lock()
+	defer g.eng.mu.Unlock()
+	s := g.stats
+	for _, r := range g.rails {
+		s.PktsSent += r.pktsSent
+		if r.down {
+			s.FailedRails++
+		}
+		if r.busy {
+			s.PendingSends++
+		}
+	}
+	return s
+}
+
+// findPosted locates the posted receive matching (tag, msg), or nil.
+func (g *Gate) findPosted(tag uint32, msg uint64) *RecvReq {
+	for _, r := range g.posted[tag] {
+		if r.msg == msg {
+			return r
+		}
+	}
+	return nil
+}
+
+// dropPosted removes a completed receive from the posted queue.
+func (g *Gate) dropPosted(req *RecvReq) {
+	q := g.posted[req.tag]
+	for i, r := range q {
+		if r == req {
+			g.posted[req.tag] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// early returns (creating if needed) the buffer for an unexpected message.
+func (g *Gate) early(tag uint32, msg uint64) *earlyMsg {
+	k := msgKey{tag, msg}
+	em, ok := g.unexpected[k]
+	if !ok {
+		em = &earlyMsg{}
+		g.unexpected[k] = em
+	}
+	return em
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Kind discriminates wire packet types.
+type Kind uint8
+
+// Packet kinds.
+const (
+	// KData carries one segment eagerly, or several aggregated segment
+	// records when Hdr.Agg > 0.
+	KData Kind = iota + 1
+	// KRTS announces a large segment (rendezvous request-to-send).
+	KRTS
+	// KCTS grants a rendezvous (clear-to-send).
+	KCTS
+	// KChunk carries a slice of a rendezvous body.
+	KChunk
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KData:
+		return "DATA"
+	case KRTS:
+		return "RTS"
+	case KCTS:
+		return "CTS"
+	case KChunk:
+		return "CHUNK"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Header is the logical packet header. The same layout is used on real
+// wires (tcpdrv) and as the record header inside aggregated packets.
+type Header struct {
+	Kind     Kind
+	Agg      uint16 // number of aggregated records in the payload (KData)
+	Tag      uint32 // application channel
+	MsgID    uint64 // per-(gate,tag) message sequence number
+	SegIndex uint16 // segment index within the message
+	MsgSegs  uint16 // total segments in the message
+	MsgLen   uint64 // total message length in bytes
+	MsgOff   uint64 // offset of this segment within the message
+	SegLen   uint64 // total segment length in bytes
+	Off      uint64 // offset of this packet's payload within the segment
+	RdvID    uint64 // rendezvous identity (KRTS/KCTS/KChunk)
+	PayLen   uint32 // payload byte count following the header
+}
+
+// HeaderLen is the encoded header size in bytes.
+const HeaderLen = 1 + 1 + 2 + 4 + 8 + 2 + 2 + 8 + 8 + 8 + 8 + 8 + 4
+
+// EncodeHeader writes h into buf, which must be at least HeaderLen bytes,
+// and returns HeaderLen.
+func EncodeHeader(buf []byte, h *Header) int {
+	_ = buf[HeaderLen-1]
+	buf[0] = byte(h.Kind)
+	buf[1] = 0 // reserved
+	binary.LittleEndian.PutUint16(buf[2:], h.Agg)
+	binary.LittleEndian.PutUint32(buf[4:], h.Tag)
+	binary.LittleEndian.PutUint64(buf[8:], h.MsgID)
+	binary.LittleEndian.PutUint16(buf[16:], h.SegIndex)
+	binary.LittleEndian.PutUint16(buf[18:], h.MsgSegs)
+	binary.LittleEndian.PutUint64(buf[20:], h.MsgLen)
+	binary.LittleEndian.PutUint64(buf[28:], h.MsgOff)
+	binary.LittleEndian.PutUint64(buf[36:], h.SegLen)
+	binary.LittleEndian.PutUint64(buf[44:], h.Off)
+	binary.LittleEndian.PutUint64(buf[52:], h.RdvID)
+	binary.LittleEndian.PutUint32(buf[60:], h.PayLen)
+	return HeaderLen
+}
+
+// ErrShortHeader reports a truncated header buffer.
+var ErrShortHeader = errors.New("core: short header")
+
+// DecodeHeader parses a header from buf.
+func DecodeHeader(buf []byte) (Header, error) {
+	var h Header
+	if len(buf) < HeaderLen {
+		return h, ErrShortHeader
+	}
+	h.Kind = Kind(buf[0])
+	if h.Kind < KData || h.Kind > KChunk {
+		return h, fmt.Errorf("core: bad packet kind %d", buf[0])
+	}
+	h.Agg = binary.LittleEndian.Uint16(buf[2:])
+	h.Tag = binary.LittleEndian.Uint32(buf[4:])
+	h.MsgID = binary.LittleEndian.Uint64(buf[8:])
+	h.SegIndex = binary.LittleEndian.Uint16(buf[16:])
+	h.MsgSegs = binary.LittleEndian.Uint16(buf[18:])
+	h.MsgLen = binary.LittleEndian.Uint64(buf[20:])
+	h.MsgOff = binary.LittleEndian.Uint64(buf[28:])
+	h.SegLen = binary.LittleEndian.Uint64(buf[36:])
+	h.Off = binary.LittleEndian.Uint64(buf[44:])
+	h.RdvID = binary.LittleEndian.Uint64(buf[52:])
+	h.PayLen = binary.LittleEndian.Uint32(buf[60:])
+	return h, nil
+}
+
+// Packet is one unit handed to a driver: a header plus payload bytes.
+// senders references the send requests whose data the packet carries, so
+// completion can be credited when the driver reports the send done.
+type Packet struct {
+	Hdr     Header
+	Payload []byte
+
+	senders []senderRef
+}
+
+type senderRef struct {
+	req   *SendReq
+	bytes int // payload bytes of this request carried by the packet
+}
+
+// WireLen is the number of logical bytes the packet occupies on the wire
+// (header + payload). Physical per-packet overhead is the driver's
+// business.
+func (p *Packet) WireLen() int { return HeaderLen + len(p.Payload) }
+
+// Marshal encodes the packet (header, then payload) into a fresh buffer.
+func (p *Packet) Marshal() []byte {
+	p.Hdr.PayLen = uint32(len(p.Payload))
+	buf := make([]byte, HeaderLen+len(p.Payload))
+	EncodeHeader(buf, &p.Hdr)
+	copy(buf[HeaderLen:], p.Payload)
+	return buf
+}
+
+// Unmarshal decodes a packet from a buffer produced by Marshal. The
+// payload aliases buf.
+func Unmarshal(buf []byte) (*Packet, error) {
+	h, err := DecodeHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < HeaderLen+int(h.PayLen) {
+		return nil, fmt.Errorf("core: packet truncated: have %d want %d", len(buf)-HeaderLen, h.PayLen)
+	}
+	return &Packet{Hdr: h, Payload: buf[HeaderLen : HeaderLen+int(h.PayLen)]}, nil
+}
+
+// String implements fmt.Stringer for debugging.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s tag=%d msg=%d seg=%d/%d off=%d len=%d agg=%d",
+		p.Hdr.Kind, p.Hdr.Tag, p.Hdr.MsgID, p.Hdr.SegIndex, p.Hdr.MsgSegs, p.Hdr.Off, len(p.Payload), p.Hdr.Agg)
+}

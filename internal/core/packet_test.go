@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		Kind: KChunk, Agg: 3, Tag: 0xdeadbeef, MsgID: 1 << 40,
+		SegIndex: 7, MsgSegs: 9, MsgLen: 1 << 33, MsgOff: 12345,
+		SegLen: 777, Off: 42, RdvID: 99, PayLen: 4096,
+	}
+	var buf [HeaderLen]byte
+	if n := EncodeHeader(buf[:], &h); n != HeaderLen {
+		t.Fatalf("EncodeHeader = %d, want %d", n, HeaderLen)
+	}
+	got, err := DecodeHeader(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(agg uint16, tag uint32, msgID uint64, segIdx, msgSegs uint16,
+		msgLen, msgOff, segLen, off, rdv uint64, payLen uint32, kindSel uint8) bool {
+		h := Header{
+			Kind: Kind(kindSel%4) + KData, Agg: agg, Tag: tag, MsgID: msgID,
+			SegIndex: segIdx, MsgSegs: msgSegs, MsgLen: msgLen, MsgOff: msgOff,
+			SegLen: segLen, Off: off, RdvID: rdv, PayLen: payLen,
+		}
+		var buf [HeaderLen]byte
+		EncodeHeader(buf[:], &h)
+		got, err := DecodeHeader(buf[:])
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShortHeader(t *testing.T) {
+	if _, err := DecodeHeader(make([]byte, HeaderLen-1)); err == nil {
+		t.Fatal("short header decoded")
+	}
+}
+
+func TestDecodeBadKind(t *testing.T) {
+	buf := make([]byte, HeaderLen)
+	buf[0] = 0
+	if _, err := DecodeHeader(buf); err == nil {
+		t.Fatal("kind 0 decoded")
+	}
+	buf[0] = byte(KChunk) + 1
+	if _, err := DecodeHeader(buf); err == nil {
+		t.Fatal("kind out of range decoded")
+	}
+}
+
+func TestPacketMarshalUnmarshal(t *testing.T) {
+	payload := []byte("the quick brown fox")
+	p := &Packet{Hdr: Header{Kind: KData, Tag: 5, MsgID: 2, SegLen: uint64(len(payload)), MsgLen: uint64(len(payload)), MsgSegs: 1}, Payload: payload}
+	buf := p.Marshal()
+	if len(buf) != HeaderLen+len(payload) {
+		t.Fatalf("marshalled %d bytes, want %d", len(buf), HeaderLen+len(payload))
+	}
+	q, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Hdr.PayLen != uint32(len(payload)) {
+		t.Fatalf("PayLen = %d", q.Hdr.PayLen)
+	}
+	if !bytes.Equal(q.Payload, payload) {
+		t.Fatalf("payload mismatch: %q", q.Payload)
+	}
+}
+
+func TestPacketMarshalEmptyPayload(t *testing.T) {
+	p := &Packet{Hdr: Header{Kind: KCTS, RdvID: 3}}
+	q, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Payload) != 0 || q.Hdr.Kind != KCTS || q.Hdr.RdvID != 3 {
+		t.Fatalf("got %+v", q)
+	}
+}
+
+func TestUnmarshalTruncatedPayload(t *testing.T) {
+	p := &Packet{Hdr: Header{Kind: KData}, Payload: make([]byte, 100)}
+	buf := p.Marshal()
+	if _, err := Unmarshal(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated packet decoded")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestPacketMarshalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(tag uint32, msgID uint64, n uint16) bool {
+		payload := make([]byte, int(n)%5000)
+		rng.Read(payload)
+		p := &Packet{
+			Hdr:     Header{Kind: KData, Tag: tag, MsgID: msgID, SegLen: uint64(len(payload)), MsgLen: uint64(len(payload)), MsgSegs: 1},
+			Payload: payload,
+		}
+		q, err := Unmarshal(p.Marshal())
+		if err != nil {
+			return false
+		}
+		return q.Hdr.Tag == tag && q.Hdr.MsgID == msgID && bytes.Equal(q.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireLen(t *testing.T) {
+	p := &Packet{Payload: make([]byte, 10)}
+	if p.WireLen() != HeaderLen+10 {
+		t.Fatalf("WireLen = %d", p.WireLen())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{KData: "DATA", KRTS: "RTS", KCTS: "CTS", KChunk: "CHUNK", Kind(99): "Kind(99)"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestHeaderLenMatchesEncoding(t *testing.T) {
+	// Guards against someone widening a field without bumping HeaderLen.
+	typ := reflect.TypeOf(Header{})
+	total := 0
+	for i := 0; i < typ.NumField(); i++ {
+		total += int(typ.Field(i).Type.Size())
+	}
+	// Header has one spare byte on the wire (reserved after Kind).
+	if total+1 != HeaderLen {
+		t.Fatalf("sum of field sizes %d+1 != HeaderLen %d", total, HeaderLen)
+	}
+}

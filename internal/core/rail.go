@@ -1,0 +1,67 @@
+package core
+
+import "fmt"
+
+// Rail is one network path of a gate: a driver plus its track state. The
+// engine keeps at most one packet in flight per rail and consults the
+// strategy the moment the rail goes idle, which is the paper's
+// NIC-activity-driven scheduling.
+type Rail struct {
+	gate    *Gate
+	index   int
+	drv     Driver
+	profile Profile
+	busy    bool
+	down    bool
+	current *Packet
+
+	// stats
+	pktsSent  uint64
+	bytesSent uint64
+}
+
+// Index returns the rail's position within its gate.
+func (r *Rail) Index() int { return r.index }
+
+// Gate returns the owning gate.
+func (r *Rail) Gate() *Gate { return r.gate }
+
+// Driver returns the transmit-layer driver.
+func (r *Rail) Driver() Driver { return r.drv }
+
+// Profile returns the rail's performance profile. Initially the driver's
+// declared profile; SetProfile replaces it with sampled figures.
+func (r *Rail) Profile() Profile { return r.profile }
+
+// SetProfile installs a (typically sampled) profile used by strategies
+// for rail selection and stripping ratios.
+func (r *Rail) SetProfile(p Profile) { r.profile = p }
+
+// Busy reports whether a packet is in flight on the rail.
+func (r *Rail) Busy() bool { return r.busy }
+
+// Down reports whether the rail has been marked failed.
+func (r *Rail) Down() bool { return r.down }
+
+// MarkDown manually disables the rail; pending and future work is routed
+// to the remaining rails.
+func (r *Rail) MarkDown() {
+	r.gate.eng.mu.Lock()
+	defer r.gate.eng.mu.Unlock()
+	r.down = true
+}
+
+// Stats reports packets and bytes sent on this rail.
+func (r *Rail) Stats() (pkts, bytes uint64) { return r.pktsSent, r.bytesSent }
+
+// String implements fmt.Stringer.
+func (r *Rail) String() string {
+	return fmt.Sprintf("rail%d(%s busy=%v down=%v)", r.index, r.profile.Name, r.busy, r.down)
+}
+
+// railEvents adapts driver callbacks to engine methods for one rail.
+type railEvents struct{ r *Rail }
+
+func (e railEvents) SendComplete(rail int)                     { e.r.gate.eng.sendComplete(e.r) }
+func (e railEvents) SendFailed(rail int, p *Packet, err error) { e.r.gate.eng.sendFailed(e.r, p, err) }
+func (e railEvents) Arrive(rail int, p *Packet)                { e.r.gate.eng.arrive(e.r, p) }

@@ -1,0 +1,165 @@
+package core
+
+import "sync"
+
+// Request is the common interface of send and receive requests.
+type Request interface {
+	// Done reports whether the request has completed.
+	Done() bool
+	// Err returns the terminal error, if any (nil while in flight and on
+	// success).
+	Err() error
+	// OnComplete registers fn to run exactly once when the request
+	// completes; if it already has, fn runs immediately.
+	OnComplete(fn func())
+}
+
+// reqState is the shared completion machinery.
+type reqState struct {
+	mu   sync.Mutex
+	done bool
+	err  error
+	cbs  []func()
+}
+
+func (r *reqState) Done() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done
+}
+
+func (r *reqState) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *reqState) OnComplete(fn func()) {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		fn()
+		return
+	}
+	r.cbs = append(r.cbs, fn)
+	r.mu.Unlock()
+}
+
+func (r *reqState) complete(err error) {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		return
+	}
+	r.done = true
+	r.err = err
+	cbs := r.cbs
+	r.cbs = nil
+	r.mu.Unlock()
+	for _, fn := range cbs {
+		fn()
+	}
+}
+
+// SendReq tracks an outgoing message: one or more segments submitted via
+// a Packer (or Isend). It completes when every byte has been handed to a
+// NIC and all carrying packets have finished sending, i.e. when the
+// application may reuse its buffers.
+type SendReq struct {
+	reqState
+	gate *Gate
+	tag  uint32
+	msg  uint64
+
+	totalBytes int
+	sentBytes  int
+	// pendingPkts counts packets carrying this request's data that have
+	// been posted but not yet completed by the driver.
+	pendingPkts int
+	// queuedBytes counts bytes still sitting in the backlog (not yet in
+	// any posted packet).
+	queuedBytes int
+}
+
+// Gate returns the gate the message is being sent on.
+func (s *SendReq) Gate() *Gate { return s.gate }
+
+// Tag returns the message tag.
+func (s *SendReq) Tag() uint32 { return s.tag }
+
+// MsgID returns the per-(gate,tag) message sequence number.
+func (s *SendReq) MsgID() uint64 { return s.msg }
+
+// maybeComplete finishes the request once nothing remains queued or in
+// flight. Caller holds the engine lock.
+func (s *SendReq) maybeComplete() {
+	if s.queuedBytes == 0 && s.pendingPkts == 0 && s.sentBytes >= s.totalBytes {
+		s.complete(nil)
+	}
+}
+
+// RecvReq tracks an incoming message. It completes when all MsgLen bytes
+// (across all segments and rendezvous chunks) have been placed in the
+// destination buffers.
+type RecvReq struct {
+	reqState
+	gate *Gate
+	tag  uint32
+	msg  uint64
+
+	// bufs is the scatter list the message lands in, in message-offset
+	// order (one entry for plain Irecv).
+	bufs     [][]byte
+	capacity int
+	gotBytes int
+	// msgLen is the total expected, learned from the first matching
+	// header; -1 until then.
+	msgLen int64
+}
+
+// Gate returns the gate the message is expected on.
+func (r *RecvReq) Gate() *Gate { return r.gate }
+
+// Tag returns the tag being matched.
+func (r *RecvReq) Tag() uint32 { return r.tag }
+
+// MsgID returns the receive-side message sequence number this request was
+// matched to.
+func (r *RecvReq) MsgID() uint64 { return r.msg }
+
+// Len returns the received message length; valid once Done.
+func (r *RecvReq) Len() int { return r.gotBytes }
+
+// Buf returns the destination buffer of a plain Irecv, or the first
+// scatter buffer of an Irecvv.
+func (r *RecvReq) Buf() []byte {
+	if len(r.bufs) == 0 {
+		return nil
+	}
+	return r.bufs[0]
+}
+
+// Bufs returns the scatter list the message lands in.
+func (r *RecvReq) Bufs() [][]byte { return r.bufs }
+
+// writeAt scatters data at the given message offset across the
+// destination buffers. The caller has validated off+len(data) against
+// capacity.
+func (r *RecvReq) writeAt(off uint64, data []byte) {
+	o := int(off)
+	for _, b := range r.bufs {
+		if o < len(b) {
+			n := copy(b[o:], data)
+			data = data[n:]
+			if len(data) == 0 {
+				return
+			}
+			o = 0
+			continue
+		}
+		o -= len(b)
+	}
+	if len(data) > 0 {
+		panic("core: writeAt past the scatter list")
+	}
+}

@@ -1,0 +1,181 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"newmad/internal/core"
+)
+
+func TestIrecvvScattersAcrossBuffers(t *testing.T) {
+	d := newDuo(t, 2, balanced)
+	segs := [][]byte{fill(100, 1), fill(200, 2), fill(300, 3)}
+	b1 := make([]byte, 150) // deliberately misaligned with sender segments
+	b2 := make([]byte, 250)
+	b3 := make([]byte, 200)
+	rr := d.gateBA.Irecvv(1, [][]byte{b1, b2, b3})
+	sr := d.gateAB.Isendv(1, segs)
+	d.pump(t, sr, rr)
+	got := append(append(append([]byte(nil), b1...), b2...), b3...)
+	if !bytes.Equal(got, bytes.Join(segs, nil)) {
+		t.Fatal("scatter reassembly mismatch")
+	}
+	if rr.Len() != 600 {
+		t.Fatalf("Len = %d", rr.Len())
+	}
+	if len(rr.Bufs()) != 3 {
+		t.Fatalf("Bufs = %d", len(rr.Bufs()))
+	}
+}
+
+func TestIrecvvRendezvousScatter(t *testing.T) {
+	d := newDuo(t, 2, balanced)
+	n := 200 << 10
+	msg := fill(n, 7)
+	halves := [][]byte{make([]byte, n/2), make([]byte, n/2)}
+	rr := d.gateBA.Irecvv(1, halves)
+	sr := d.gateAB.Isend(1, msg)
+	d.pump(t, sr, rr)
+	got := append(append([]byte(nil), halves[0]...), halves[1]...)
+	if !bytes.Equal(got, msg) {
+		t.Fatal("rendezvous scatter mismatch")
+	}
+}
+
+func TestIrecvvCapacityTooSmall(t *testing.T) {
+	d := newDuo(t, 1, balanced)
+	rr := d.gateBA.Irecvv(1, [][]byte{make([]byte, 10), make([]byte, 10)})
+	sr := d.gateAB.Isend(1, fill(100, 1))
+	d.pump(t, sr, rr)
+	if rr.Err() == nil {
+		t.Fatal("over-capacity message accepted")
+	}
+}
+
+func TestExtractorMirrorsPacker(t *testing.T) {
+	d := newDuo(t, 2, balanced)
+	p := d.gateAB.NewMessage(4).Add(fill(64, 1)).Add(fill(128, 2))
+	x := d.gateBA.NewExtractor(4).Add(make([]byte, 64)).Add(make([]byte, 128))
+	if x.Cap() != 192 {
+		t.Fatalf("Cap = %d", x.Cap())
+	}
+	rr := x.Recv()
+	sr := p.Send()
+	d.pump(t, sr, rr)
+	if !bytes.Equal(rr.Bufs()[0], fill(64, 1)) || !bytes.Equal(rr.Bufs()[1], fill(128, 2)) {
+		t.Fatal("extractor segments mismatch")
+	}
+}
+
+func TestExtractorReusePanics(t *testing.T) {
+	d := newDuo(t, 1, balanced)
+	x := d.gateBA.NewExtractor(1).Add(make([]byte, 4))
+	x.Recv()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Recv did not panic")
+		}
+	}()
+	x.Recv()
+}
+
+func TestExtractorAddAfterRecvPanics(t *testing.T) {
+	d := newDuo(t, 1, balanced)
+	x := d.gateBA.NewExtractor(1).Add(make([]byte, 4))
+	x.Recv()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add after Recv did not panic")
+		}
+	}()
+	x.Add(make([]byte, 4))
+}
+
+func TestGateStatsCounters(t *testing.T) {
+	d := newDuo(t, 2, balanced)
+	// One small message and one rendezvous message.
+	small := fill(512, 1)
+	big := fill(100<<10, 2)
+	r1 := d.gateBA.Irecv(1, make([]byte, len(small)))
+	r2 := d.gateBA.Irecv(1, make([]byte, len(big)))
+	s1 := d.gateAB.Isend(1, small)
+	s2 := d.gateAB.Isend(1, big)
+	d.pump(t, s1, s2, r1, r2)
+	st := d.gateAB.Stats()
+	if st.MsgsSent != 2 {
+		t.Errorf("MsgsSent = %d", st.MsgsSent)
+	}
+	if st.RdvStarted != 1 {
+		t.Errorf("RdvStarted = %d", st.RdvStarted)
+	}
+	if st.BytesSent < uint64(len(small)+len(big)) {
+		t.Errorf("BytesSent = %d", st.BytesSent)
+	}
+	if st.PktsSent == 0 || st.PendingSends != 0 || st.FailedRails != 0 {
+		t.Errorf("stats %+v", st)
+	}
+	rst := d.gateBA.Stats()
+	if rst.MsgsRecv != 2 || rst.BytesRecv != uint64(len(small)+len(big)) {
+		t.Errorf("recv stats %+v", rst)
+	}
+}
+
+func TestGateStatsAggregation(t *testing.T) {
+	d := newDuo(t, 1, func() core.Strategy { return aggregStrat() })
+	var reqs []core.Request
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs, d.gateBA.Irecv(1, make([]byte, 64)))
+	}
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs, d.gateAB.Isend(1, fill(64, byte(i))))
+	}
+	d.pump(t, reqs...)
+	st := d.gateAB.Stats()
+	if st.AggPackets == 0 || st.AggSegments < 2 {
+		t.Errorf("aggregation not reflected in stats: %+v", st)
+	}
+}
+
+// Property: scatter layouts of any shape receive any segment layout
+// intact as long as capacity suffices.
+func TestPropertyScatterGatherRoundTrip(t *testing.T) {
+	f := func(segSizes, bufSizes []uint16, seed byte) bool {
+		if len(segSizes) == 0 || len(segSizes) > 6 || len(bufSizes) == 0 || len(bufSizes) > 6 {
+			return true
+		}
+		total := 0
+		segs := make([][]byte, len(segSizes))
+		for i, s := range segSizes {
+			n := int(s) % 20000
+			segs[i] = fill(n, seed^byte(i))
+			total += n
+		}
+		// Build a scatter list with exactly enough capacity.
+		bufs := make([][]byte, 0, len(bufSizes)+1)
+		left := total
+		for _, s := range bufSizes {
+			n := int(s) % (total/len(bufSizes) + 1)
+			if n > left {
+				n = left
+			}
+			bufs = append(bufs, make([]byte, n))
+			left -= n
+		}
+		if left > 0 {
+			bufs = append(bufs, make([]byte, left))
+		}
+		d := newDuo(t, 2, balanced)
+		rr := d.gateBA.Irecvv(1, bufs)
+		sr := d.gateAB.Isendv(1, segs)
+		d.pump(t, sr, rr)
+		var got []byte
+		for _, b := range bufs {
+			got = append(got, b...)
+		}
+		return bytes.Equal(got, bytes.Join(segs, nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

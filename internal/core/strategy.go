@@ -1,0 +1,25 @@
+package core
+
+// Strategy is an optimizing scheduler: it rewrites the backlog of
+// application requests into packets, one decision at a time, each time a
+// rail becomes idle. This is the paper's pluggable middle layer — the
+// engine never decides what to send, only when a decision is needed.
+//
+// Contract: the engine calls Submit when the application adds a segment,
+// and Schedule whenever rail r is idle and the backlog may have work
+// (after a submit, a send completion, or a rendezvous grant). Schedule
+// must return a packet destined for r, or nil to leave r idle. Strategies
+// run under the engine lock and must not block.
+type Strategy interface {
+	// Name identifies the strategy ("fifo", "aggreg", "balance",
+	// "aggrail", "split").
+	Name() string
+	// Submit registers a new outgoing segment in the backlog.
+	Submit(b *Backlog, u *Unit)
+	// Schedule picks the next packet for idle rail r, or returns nil.
+	Schedule(b *Backlog, r *Rail) *Packet
+}
+
+// EagerOK reports whether unit u fits rail r's eager path; larger units
+// must go through the rendezvous protocol (Backlog.StartRdv).
+func EagerOK(u *Unit, r *Rail) bool { return u.Len() <= r.Profile().EagerMax }

@@ -1,0 +1,127 @@
+// Package des implements a small deterministic discrete-event simulation
+// kernel: a virtual clock, an event queue, and goroutine-backed processes
+// that can sleep in virtual time and wait on signals.
+//
+// The kernel is strictly single-threaded from the simulation's point of
+// view: exactly one event handler or process body runs at any instant, and
+// ties in time are broken by insertion order, so a given program always
+// produces the same schedule.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Duration converts t to a time.Duration for reporting.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// FromDuration converts a wall-clock style duration to a virtual Time span.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event     { return h[0] }
+func (h *eventHeap) pushEv(e *event) { heap.Push(h, e) }
+func (h *eventHeap) popEv() *event   { return heap.Pop(h).(*event) }
+
+// World owns the virtual clock and the pending event queue.
+// The zero value is not usable; call NewWorld.
+type World struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	running bool
+	// procs counts live processes so Run can detect deadlock (live procs
+	// but no pending events).
+	procs int
+}
+
+// NewWorld returns an empty world at time zero.
+func NewWorld() *World {
+	return &World{}
+}
+
+// Now reports the current virtual time.
+func (w *World) Now() Time { return w.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: that is always a modelling bug.
+func (w *World) At(t Time, fn func()) {
+	if t < w.now {
+		panic(fmt.Sprintf("des: schedule at %d before now %d", t, w.now))
+	}
+	w.seq++
+	w.events.pushEv(&event{at: t, seq: w.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (w *World) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %d", d))
+	}
+	w.At(w.now+d, fn)
+}
+
+// Run executes events in timestamp order until the queue is empty.
+// It panics if live processes remain parked with no event that could wake
+// them, since that indicates a deadlocked model.
+func (w *World) Run() {
+	if w.running {
+		panic("des: Run re-entered")
+	}
+	w.running = true
+	defer func() { w.running = false }()
+	for len(w.events) > 0 {
+		e := w.events.popEv()
+		w.now = e.at
+		e.fn()
+	}
+	if w.procs > 0 {
+		panic(fmt.Sprintf("des: deadlock: %d process(es) parked with no pending events", w.procs))
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline and then stops,
+// leaving later events queued. The clock ends at deadline unless the queue
+// drained earlier.
+func (w *World) RunUntil(deadline Time) {
+	for len(w.events) > 0 && w.events.peek().at <= deadline {
+		e := w.events.popEv()
+		w.now = e.at
+		e.fn()
+	}
+	if w.now < deadline {
+		w.now = deadline
+	}
+}
+
+// Pending reports the number of queued events.
+func (w *World) Pending() int { return len(w.events) }

@@ -1,0 +1,291 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWorldStartsAtZero(t *testing.T) {
+	w := NewWorld()
+	if w.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", w.Now())
+	}
+	if w.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", w.Pending())
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	w := NewWorld()
+	var order []int
+	w.At(30, func() { order = append(order, 3) })
+	w.At(10, func() { order = append(order, 1) })
+	w.At(20, func() { order = append(order, 2) })
+	w.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if w.Now() != 30 {
+		t.Fatalf("Now() = %d, want 30", w.Now())
+	}
+}
+
+func TestTiesRunInScheduleOrder(t *testing.T) {
+	w := NewWorld()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		w.At(5, func() { order = append(order, i) })
+	}
+	w.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	w := NewWorld()
+	var at Time
+	w.At(100, func() {
+		w.After(50, func() { at = w.Now() })
+	})
+	w.Run()
+	if at != 150 {
+		t.Fatalf("After fired at %d, want 150", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	w := NewWorld()
+	w.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past did not panic")
+			}
+		}()
+		w.At(50, func() {})
+	})
+	w.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	w := NewWorld()
+	defer func() {
+		if recover() == nil {
+			t.Error("After(-1) did not panic")
+		}
+	}()
+	w.After(-1, func() {})
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	w := NewWorld()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		w.At(at, func() { fired = append(fired, at) })
+	}
+	w.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want events at 10 and 20", fired)
+	}
+	if w.Now() != 25 {
+		t.Fatalf("Now() = %d, want 25", w.Now())
+	}
+	w.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired = %v after Run, want all 4", fired)
+	}
+}
+
+func TestRunUntilAdvancesClockOnEmptyQueue(t *testing.T) {
+	w := NewWorld()
+	w.RunUntil(1000)
+	if w.Now() != 1000 {
+		t.Fatalf("Now() = %d, want 1000", w.Now())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	w := NewWorld()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 5 {
+			w.After(1, rec)
+		}
+	}
+	w.After(0, rec)
+	w.Run()
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+	if w.Now() != 4 {
+		t.Fatalf("Now() = %d, want 4", w.Now())
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	w := NewWorld()
+	var wake Time
+	w.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(100)
+		wake = p.Now()
+	})
+	w.Run()
+	if wake != 100 {
+		t.Fatalf("woke at %d, want 100", wake)
+	}
+}
+
+func TestProcSleepUntil(t *testing.T) {
+	w := NewWorld()
+	var times []Time
+	w.Spawn("p", func(p *Proc) {
+		p.SleepUntil(40)
+		times = append(times, p.Now())
+		p.SleepUntil(10) // already past: no-op
+		times = append(times, p.Now())
+	})
+	w.Run()
+	if len(times) != 2 || times[0] != 40 || times[1] != 40 {
+		t.Fatalf("times = %v, want [40 40]", times)
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		w := NewWorld()
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			w.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					log = append(log, name)
+					p.Sleep(10)
+				}
+			})
+		}
+		w.Run()
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 10; trial++ {
+		got := run()
+		if len(got) != len(first) {
+			t.Fatalf("trial %d: len %d != %d", trial, len(got), len(first))
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d: schedule differs at %d: %v vs %v", trial, i, got, first)
+			}
+		}
+	}
+}
+
+func TestSignalBroadcastWakesAllWaiters(t *testing.T) {
+	w := NewWorld()
+	sig := NewSignal(w)
+	woken := 0
+	for i := 0; i < 4; i++ {
+		w.Spawn("waiter", func(p *Proc) {
+			p.Wait(sig)
+			woken++
+		})
+	}
+	w.Spawn("caller", func(p *Proc) {
+		p.Sleep(100)
+		sig.Broadcast()
+	})
+	w.Run()
+	if woken != 4 {
+		t.Fatalf("woken = %d, want 4", woken)
+	}
+}
+
+func TestSignalWaitingCount(t *testing.T) {
+	w := NewWorld()
+	sig := NewSignal(w)
+	w.Spawn("waiter", func(p *Proc) { p.Wait(sig) })
+	w.At(10, func() {
+		if sig.Waiting() != 1 {
+			t.Errorf("Waiting() = %d, want 1", sig.Waiting())
+		}
+		sig.Broadcast()
+	})
+	w.Run()
+	if sig.Waiting() != 0 {
+		t.Fatalf("Waiting() = %d after broadcast, want 0", sig.Waiting())
+	}
+}
+
+func TestWaitForChecksConditionFirst(t *testing.T) {
+	w := NewWorld()
+	sig := NewSignal(w)
+	ran := false
+	w.Spawn("p", func(p *Proc) {
+		p.WaitFor(sig, func() bool { return true }) // must not block
+		ran = true
+	})
+	w.Run()
+	if !ran {
+		t.Fatal("WaitFor blocked on an already-true condition")
+	}
+}
+
+func TestWaitForRechecksOnBroadcast(t *testing.T) {
+	w := NewWorld()
+	sig := NewSignal(w)
+	counter := 0
+	w.Spawn("p", func(p *Proc) {
+		p.WaitFor(sig, func() bool { return counter >= 3 })
+		if p.Now() != 30 {
+			t.Errorf("woke at %d, want 30", p.Now())
+		}
+	})
+	for i := 1; i <= 3; i++ {
+		i := i
+		w.At(Time(10*i), func() {
+			counter = i
+			sig.Broadcast()
+		})
+	}
+	w.Run()
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("parked process with empty queue did not panic Run")
+		}
+	}()
+	w := NewWorld()
+	sig := NewSignal(w)
+	w.Spawn("stuck", func(p *Proc) { p.Wait(sig) })
+	w.Run()
+}
+
+func TestTimeDurationConversion(t *testing.T) {
+	if FromDuration(3*time.Microsecond) != 3000 {
+		t.Fatalf("FromDuration = %d, want 3000", FromDuration(3*time.Microsecond))
+	}
+	if Time(1500).Duration() != 1500*time.Nanosecond {
+		t.Fatalf("Duration = %v", Time(1500).Duration())
+	}
+}
+
+func TestProcNameAndWorld(t *testing.T) {
+	w := NewWorld()
+	w.Spawn("zippy", func(p *Proc) {
+		if p.Name() != "zippy" {
+			t.Errorf("Name = %q", p.Name())
+		}
+		if p.World() != w {
+			t.Error("World mismatch")
+		}
+	})
+	w.Run()
+}

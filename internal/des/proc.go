@@ -1,0 +1,131 @@
+package des
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine that runs only when the kernel
+// hands it control and that can block in virtual time. A Proc must only
+// call its methods from its own body.
+type Proc struct {
+	w      *World
+	name   string
+	resume chan struct{} // kernel -> proc: run
+	yield  chan struct{} // proc -> kernel: parked or finished
+	dead   bool
+}
+
+// Spawn starts body as a simulated process at the current virtual time.
+func (w *World) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		w:      w,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	w.procs++
+	go func() {
+		<-p.resume
+		body(p)
+		p.dead = true
+		w.procs--
+		p.yield <- struct{}{}
+	}()
+	// First activation is an ordinary event so spawn order is respected.
+	w.After(0, func() { p.run() })
+	return p
+}
+
+// run transfers control to the process and waits for it to park or finish.
+func (p *Proc) run() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// park returns control to the kernel until the next wake-up.
+func (p *Proc) park() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// World returns the world the process runs in.
+func (p *Proc) World() *World { return p.w }
+
+// Now reports current virtual time.
+func (p *Proc) Now() Time { return p.w.now }
+
+// Sleep blocks the process for d nanoseconds of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: Sleep(%d)", d))
+	}
+	p.w.After(d, func() { p.wake() })
+	p.park()
+}
+
+// SleepUntil blocks the process until absolute virtual time t (no-op if t
+// is in the past).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.w.now {
+		return
+	}
+	p.Sleep(t - p.w.now)
+}
+
+// wake schedules the process to resume; must be called from kernel context
+// (an event handler), not from the process itself.
+func (p *Proc) wake() {
+	if p.dead {
+		panic("des: waking dead process " + p.name)
+	}
+	p.run()
+}
+
+// Wait parks the process until the signal is broadcast.
+func (p *Proc) Wait(s *Signal) {
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// WaitFor parks until cond() is true, re-checking each time the signal
+// fires. cond is first checked immediately.
+func (p *Proc) WaitFor(s *Signal, cond func() bool) {
+	for !cond() {
+		p.Wait(s)
+	}
+}
+
+// Signal is a broadcast wake-up point for processes. The zero value is
+// ready to use.
+type Signal struct {
+	w       *World
+	waiters []*Proc
+}
+
+// NewSignal returns a signal bound to w. Binding is only needed for
+// Broadcast's event scheduling; the zero value works with BroadcastIn.
+func NewSignal(w *World) *Signal { return &Signal{w: w} }
+
+// Broadcast wakes all waiting processes at the current virtual time. It is
+// safe to call from event handlers and from process bodies.
+func (s *Signal) Broadcast() {
+	if s.w == nil {
+		panic("des: Broadcast on unbound Signal; use NewSignal")
+	}
+	s.BroadcastIn(s.w)
+}
+
+// BroadcastIn is Broadcast for a zero-value Signal, with the world passed
+// explicitly.
+func (s *Signal) BroadcastIn(w *World) {
+	waiters := s.waiters
+	s.waiters = nil
+	for _, p := range waiters {
+		p := p
+		w.After(0, func() { p.wake() })
+	}
+}
+
+// Waiting reports how many processes are blocked on the signal.
+func (s *Signal) Waiting() int { return len(s.waiters) }

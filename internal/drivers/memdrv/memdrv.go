@@ -1,0 +1,165 @@
+// Package memdrv provides an in-process loopback driver pair used by unit
+// and integration tests: two engines in one process exchange marshalled
+// packets through queues drained by Poll, with optional fault injection.
+package memdrv
+
+import (
+	"errors"
+	"sync"
+
+	"newmad/internal/core"
+)
+
+// ErrDown reports a send on a driver that was taken down.
+var ErrDown = errors.New("memdrv: down")
+
+// Driver is one end of an in-memory rail.
+type Driver struct {
+	name string
+	peer *Driver
+
+	mu          sync.Mutex
+	inbox       [][]byte
+	completions []completion
+	down        bool
+	dropNext    int // silently lose the next N sends after accepting them
+	failNext    int // report SendFailed for the next N sends
+	failAfter   int // countdown: when it hits 1, that send fails
+
+	rail int
+	ev   core.Events
+
+	profile core.Profile
+}
+
+type completion struct {
+	pkt *core.Packet
+	err error
+}
+
+// Pair returns two connected drivers with the given profile.
+func Pair(name string, profile core.Profile) (*Driver, *Driver) {
+	a := &Driver{name: name + ".a", profile: profile}
+	b := &Driver{name: name + ".b", profile: profile}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// DefaultProfile is a convenient profile for tests.
+func DefaultProfile() core.Profile {
+	return core.Profile{Name: "mem", Latency: 0, Bandwidth: 1 << 30, EagerMax: 32 << 10, PIOMax: 8 << 10}
+}
+
+// Name implements core.Driver.
+func (d *Driver) Name() string { return "mem:" + d.name }
+
+// Profile implements core.Driver.
+func (d *Driver) Profile() core.Profile { return d.profile }
+
+// Bind implements core.Driver.
+func (d *Driver) Bind(rail int, ev core.Events) {
+	d.rail = rail
+	d.ev = ev
+}
+
+// Send implements core.Driver: the packet is marshalled immediately (so
+// later buffer reuse is safe) and delivered to the peer's inbox; the
+// completion is reported at the next Poll.
+func (d *Driver) Send(p *core.Packet) error {
+	d.mu.Lock()
+	if d.down {
+		d.mu.Unlock()
+		return ErrDown
+	}
+	drop := d.dropNext > 0
+	if drop {
+		d.dropNext--
+	}
+	var failErr error
+	if d.failNext > 0 {
+		d.failNext--
+		failErr = ErrDown
+		drop = true
+	}
+	if d.failAfter > 0 {
+		d.failAfter--
+		if d.failAfter == 0 {
+			failErr = ErrDown
+			drop = true
+		}
+	}
+	buf := p.Marshal()
+	d.completions = append(d.completions, completion{pkt: p, err: failErr})
+	d.mu.Unlock()
+	if !drop {
+		d.peer.mu.Lock()
+		d.peer.inbox = append(d.peer.inbox, buf)
+		d.peer.mu.Unlock()
+	}
+	return nil
+}
+
+// Poll implements core.Driver: drains completions, then arrivals.
+func (d *Driver) Poll() {
+	d.mu.Lock()
+	comps := d.completions
+	d.completions = nil
+	inbox := d.inbox
+	d.inbox = nil
+	d.mu.Unlock()
+	for _, c := range comps {
+		if c.err != nil {
+			d.ev.SendFailed(d.rail, c.pkt, c.err)
+		} else {
+			d.ev.SendComplete(d.rail)
+		}
+	}
+	for _, buf := range inbox {
+		pkt, err := core.Unmarshal(buf)
+		if err != nil {
+			panic("memdrv: corrupt packet: " + err.Error())
+		}
+		d.ev.Arrive(d.rail, pkt)
+	}
+}
+
+// Close implements core.Driver.
+func (d *Driver) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.down = true
+	return nil
+}
+
+// SetDown injects a rail failure: subsequent Sends return ErrDown.
+func (d *Driver) SetDown(down bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.down = down
+}
+
+// FailNextSend makes the next posted send report SendFailed instead of
+// completing (packet accepted, then lost with an error).
+func (d *Driver) FailNextSend() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failNext++
+}
+
+// FailAfterSends arms a deterministic failure: the n-th Send from now
+// (1-based) reports SendFailed; earlier ones succeed.
+func (d *Driver) FailAfterSends(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failAfter = n
+}
+
+// DropNextSends makes the next n sends complete successfully but never
+// arrive (silent loss on the wire).
+func (d *Driver) DropNextSends(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dropNext += n
+}
+
+var _ core.Driver = (*Driver)(nil)

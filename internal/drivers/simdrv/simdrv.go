@@ -1,0 +1,81 @@
+// Package simdrv adapts a simulated NIC (internal/simnet) to the engine's
+// transmit-layer Driver interface. Packets are marshalled to wire form at
+// Send time — the same codec the TCP driver uses — so the simulation
+// moves real bytes end to end and the application's buffer-reuse contract
+// (stable until SendComplete) holds exactly as it would on hardware.
+package simdrv
+
+import (
+	"fmt"
+
+	"newmad/internal/core"
+	"newmad/internal/simnet"
+)
+
+// Driver is one rail backed by a simulated NIC.
+type Driver struct {
+	nic  *simnet.NIC
+	rail int
+	ev   core.Events
+}
+
+// New wraps nic as a Driver. Bind must be called (by Gate.AddRail) before
+// sending; the peer NIC's driver must also be bound before packets first
+// arrive there.
+func New(nic *simnet.NIC) *Driver {
+	return &Driver{nic: nic}
+}
+
+// Name implements core.Driver.
+func (d *Driver) Name() string {
+	return fmt.Sprintf("sim:%s/%s", d.nic.Host().Name, d.nic.Params().Name)
+}
+
+// Profile implements core.Driver: characteristics derived from the NIC
+// model (a declared profile; sampling can refine it).
+func (d *Driver) Profile() core.Profile {
+	p := d.nic.Params()
+	return core.Profile{
+		Name:      p.Name,
+		Latency:   p.WireLatency + p.SendOverhead + p.RecvCost + p.PollCost,
+		Bandwidth: p.Bandwidth,
+		EagerMax:  p.EagerMax,
+		PIOMax:    p.PIOMax,
+	}
+}
+
+// Bind implements core.Driver.
+func (d *Driver) Bind(rail int, ev core.Events) {
+	d.rail = rail
+	d.ev = ev
+	d.nic.SetDeliver(func(meta any) {
+		pkt, err := core.Unmarshal(meta.([]byte))
+		if err != nil {
+			panic("simdrv: corrupt wire packet: " + err.Error())
+		}
+		d.ev.Arrive(d.rail, pkt)
+	})
+}
+
+// Send implements core.Driver.
+func (d *Driver) Send(p *core.Packet) error {
+	buf := p.Marshal()
+	err := d.nic.Send(len(buf), buf, func() { d.ev.SendComplete(d.rail) })
+	if err != nil {
+		return fmt.Errorf("%w: %s", core.ErrRailDown, err)
+	}
+	return nil
+}
+
+// Poll implements core.Driver; the simulation is event-driven, so this is
+// a no-op.
+func (d *Driver) Poll() {}
+
+// Close implements core.Driver.
+func (d *Driver) Close() error { return nil }
+
+// NIC returns the underlying simulated NIC (for tests and fault
+// injection).
+func (d *Driver) NIC() *simnet.NIC { return d.nic }
+
+var _ core.Driver = (*Driver)(nil)

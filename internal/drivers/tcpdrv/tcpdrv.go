@@ -1,0 +1,247 @@
+// Package tcpdrv is the transmit-layer driver for real TCP sockets: the
+// legacy-sockets driver of the paper's transmit layer, and the way this
+// reproduction runs the engine between actual processes. One driver is
+// one connection; multi-rail configurations use several connections
+// (possibly over different physical interfaces) as heterogeneous rails.
+//
+// Framing is a 4-byte little-endian length followed by a marshalled
+// packet. A writer goroutine drains a send queue; a reader goroutine
+// parses frames; Poll delivers completions and arrivals to the engine on
+// the caller's goroutine, as the Driver contract requires.
+package tcpdrv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"newmad/internal/core"
+)
+
+// ErrClosed reports use of a closed driver.
+var ErrClosed = errors.New("tcpdrv: closed")
+
+// Options configures a TCP rail.
+type Options struct {
+	// Profile declares the rail characteristics to the engine. Zero
+	// values get defaults (see DefaultProfile).
+	Profile core.Profile
+	// NoDelay disables Nagle (default true semantics: set NoDelayOff to
+	// keep Nagle on).
+	NoDelayOff bool
+}
+
+// DefaultProfile is a conservative loopback-TCP profile.
+func DefaultProfile() core.Profile {
+	return core.Profile{
+		Name:      "tcp",
+		Latency:   30 * time.Microsecond,
+		Bandwidth: 1200e6,
+		EagerMax:  64 << 10,
+		PIOMax:    0,
+	}
+}
+
+// Driver is one TCP rail.
+type Driver struct {
+	conn net.Conn
+	prof core.Profile
+
+	rail int
+	ev   core.Events
+
+	sendq chan *core.Packet
+
+	mu          sync.Mutex
+	completions []completion
+	inbox       []*core.Packet
+	closed      bool
+	rerr        error
+
+	wg sync.WaitGroup
+}
+
+type completion struct {
+	pkt *core.Packet
+	err error
+}
+
+// New wraps an established connection as a rail.
+func New(conn net.Conn, opts Options) *Driver {
+	prof := opts.Profile
+	def := DefaultProfile()
+	if prof.Name == "" {
+		prof.Name = def.Name
+	}
+	if prof.Latency == 0 {
+		prof.Latency = def.Latency
+	}
+	if prof.Bandwidth == 0 {
+		prof.Bandwidth = def.Bandwidth
+	}
+	if prof.EagerMax == 0 {
+		prof.EagerMax = def.EagerMax
+	}
+	if tc, ok := conn.(*net.TCPConn); ok && !opts.NoDelayOff {
+		_ = tc.SetNoDelay(true)
+	}
+	d := &Driver{conn: conn, prof: prof, sendq: make(chan *core.Packet, 64)}
+	d.wg.Add(2)
+	go d.writer()
+	go d.reader()
+	return d
+}
+
+// Dial connects to addr and returns the rail.
+func Dial(addr string, opts Options) (*Driver, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpdrv: dial %s: %w", addr, err)
+	}
+	return New(conn, opts), nil
+}
+
+// Accept waits for one connection on l and returns the rail.
+func Accept(l net.Listener, opts Options) (*Driver, error) {
+	conn, err := l.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("tcpdrv: accept: %w", err)
+	}
+	return New(conn, opts), nil
+}
+
+// Name implements core.Driver.
+func (d *Driver) Name() string { return "tcp:" + d.conn.RemoteAddr().String() }
+
+// Profile implements core.Driver.
+func (d *Driver) Profile() core.Profile { return d.prof }
+
+// Bind implements core.Driver.
+func (d *Driver) Bind(rail int, ev core.Events) {
+	d.rail = rail
+	d.ev = ev
+}
+
+// Send implements core.Driver: enqueues the packet for the writer
+// goroutine. The payload is referenced, not copied, until written.
+func (d *Driver) Send(p *core.Packet) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	select {
+	case d.sendq <- p:
+		return nil
+	default:
+		// The engine posts one packet at a time per rail, so a full
+		// queue means the contract was violated or the peer is gone.
+		return fmt.Errorf("tcpdrv: send queue full on %s", d.Name())
+	}
+}
+
+func (d *Driver) writer() {
+	defer d.wg.Done()
+	var lenBuf [4]byte
+	for p := range d.sendq {
+		buf := p.Marshal()
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(buf)))
+		var err error
+		if _, err = d.conn.Write(lenBuf[:]); err == nil {
+			_, err = d.conn.Write(buf)
+		}
+		d.mu.Lock()
+		d.completions = append(d.completions, completion{pkt: p, err: err})
+		closed := d.closed
+		d.mu.Unlock()
+		if err != nil && !closed {
+			return
+		}
+	}
+}
+
+func (d *Driver) reader() {
+	defer d.wg.Done()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(d.conn, lenBuf[:]); err != nil {
+			d.readerDone(err)
+			return
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n < core.HeaderLen || n > 256<<20 {
+			d.readerDone(fmt.Errorf("tcpdrv: bad frame length %d", n))
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(d.conn, buf); err != nil {
+			d.readerDone(err)
+			return
+		}
+		pkt, err := core.Unmarshal(buf)
+		if err != nil {
+			d.readerDone(err)
+			return
+		}
+		d.mu.Lock()
+		d.inbox = append(d.inbox, pkt)
+		d.mu.Unlock()
+	}
+}
+
+func (d *Driver) readerDone(err error) {
+	d.mu.Lock()
+	if d.rerr == nil && !d.closed {
+		d.rerr = err
+	}
+	d.mu.Unlock()
+}
+
+// Poll implements core.Driver: delivers queued completions and arrivals.
+func (d *Driver) Poll() {
+	d.mu.Lock()
+	comps := d.completions
+	d.completions = nil
+	inbox := d.inbox
+	d.inbox = nil
+	d.mu.Unlock()
+	for _, c := range comps {
+		if c.err != nil {
+			d.ev.SendFailed(d.rail, c.pkt, c.err)
+		} else {
+			d.ev.SendComplete(d.rail)
+		}
+	}
+	for _, pkt := range inbox {
+		d.ev.Arrive(d.rail, pkt)
+	}
+}
+
+// Err reports a terminal reader error, if any (io.EOF after a clean peer
+// close).
+func (d *Driver) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rerr
+}
+
+// Close implements core.Driver.
+func (d *Driver) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	close(d.sendq)
+	err := d.conn.Close()
+	d.wg.Wait()
+	return err
+}
+
+var _ core.Driver = (*Driver)(nil)

@@ -1,0 +1,234 @@
+package tcpdrv
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"newmad/internal/core"
+)
+
+type recorder struct {
+	mu        sync.Mutex
+	completes int
+	fails     []error
+	arrivals  []*core.Packet
+}
+
+func (r *recorder) SendComplete(int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.completes++
+}
+func (r *recorder) SendFailed(_ int, _ *core.Packet, e error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fails = append(r.fails, e)
+}
+func (r *recorder) Arrive(_ int, p *core.Packet) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.arrivals = append(r.arrivals, p)
+}
+func (r *recorder) snapshot() (int, int, []*core.Packet) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.completes, len(r.fails), append([]*core.Packet(nil), r.arrivals...)
+}
+
+func tcpPair(t *testing.T) (*Driver, *Driver, *recorder, *recorder) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var server *Driver
+	var serr error
+	done := make(chan struct{})
+	go func() {
+		server, serr = Accept(l, Options{})
+		close(done)
+	}()
+	client, err := Dial(l.Addr().String(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	rc, rs := &recorder{}, &recorder{}
+	client.Bind(0, rc)
+	server.Bind(0, rs)
+	t.Cleanup(func() {
+		client.Close()
+		server.Close()
+	})
+	return client, server, rc, rs
+}
+
+func pkt(payload []byte) *core.Packet {
+	return &core.Packet{
+		Hdr:     core.Header{Kind: core.KData, Tag: 1, MsgSegs: 1, SegLen: uint64(len(payload)), MsgLen: uint64(len(payload))},
+		Payload: payload,
+	}
+}
+
+func pollUntil(t *testing.T, cond func() bool, drivers ...*Driver) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, d := range drivers {
+			d.Poll()
+		}
+		if cond() {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatal("condition not reached")
+}
+
+func TestRoundTripSmallPacket(t *testing.T) {
+	c, s, rc, rs := tcpPair(t)
+	payload := []byte("over the real wire")
+	if err := c.Send(pkt(payload)); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, func() bool { _, _, arr := rs.snapshot(); return len(arr) == 1 }, c, s)
+	_, _, arr := rs.snapshot()
+	if !bytes.Equal(arr[0].Payload, payload) {
+		t.Fatalf("payload %q", arr[0].Payload)
+	}
+	comp, _, _ := rc.snapshot()
+	if comp != 1 {
+		t.Fatalf("completes = %d", comp)
+	}
+}
+
+func TestRoundTripLargePacket(t *testing.T) {
+	c, s, _, rs := tcpPair(t)
+	payload := make([]byte, 4<<20)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	if err := c.Send(pkt(payload)); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, func() bool { _, _, arr := rs.snapshot(); return len(arr) == 1 }, c, s)
+	_, _, arr := rs.snapshot()
+	if !bytes.Equal(arr[0].Payload, payload) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	c, s, rc, rs := tcpPair(t)
+	if err := c.Send(pkt([]byte("ping"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send(pkt([]byte("pong"))); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, func() bool {
+		_, _, a1 := rc.snapshot()
+		_, _, a2 := rs.snapshot()
+		return len(a1) == 1 && len(a2) == 1
+	}, c, s)
+}
+
+func TestManyPacketsInOrder(t *testing.T) {
+	c, s, _, rs := tcpPair(t)
+	const n = 50
+	go func() {
+		for i := 0; i < n; i++ {
+			p := pkt([]byte{byte(i)})
+			p.Hdr.MsgID = uint64(i)
+			for c.Send(p) != nil {
+				time.Sleep(time.Millisecond)
+			}
+			c.Poll()
+		}
+	}()
+	pollUntil(t, func() bool { _, _, arr := rs.snapshot(); return len(arr) == n }, c, s)
+	_, _, arr := rs.snapshot()
+	for i, p := range arr {
+		if p.Hdr.MsgID != uint64(i) {
+			t.Fatalf("packet %d has msg %d (TCP must preserve order)", i, p.Hdr.MsgID)
+		}
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	c, _, _, _ := tcpPair(t)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(pkt([]byte("x"))); err == nil {
+		t.Fatal("send after close accepted")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestPeerCloseSurfacesReaderErr(t *testing.T) {
+	c, s, _, _ := tcpPair(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Err() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if c.Err() == nil {
+		t.Fatal("reader error not surfaced after peer close")
+	}
+}
+
+func TestProfileDefaults(t *testing.T) {
+	c, _, _, _ := tcpPair(t)
+	p := c.Profile()
+	if p.Name != "tcp" || p.Bandwidth <= 0 || p.EagerMax <= 0 || p.Latency <= 0 {
+		t.Fatalf("profile %+v", p)
+	}
+}
+
+func TestProfileOverrides(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		d, err := Accept(l, Options{})
+		if err == nil {
+			d.Close()
+		}
+	}()
+	prof := core.Profile{Name: "wan", Latency: time.Millisecond, Bandwidth: 1e6, EagerMax: 1024}
+	c, err := Dial(l.Addr().String(), Options{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Profile(); got.Name != "wan" || got.Bandwidth != 1e6 || got.EagerMax != 1024 {
+		t.Fatalf("profile %+v", got)
+	}
+}
+
+func TestDialRefused(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", Options{}); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestName(t *testing.T) {
+	c, _, _, _ := tcpPair(t)
+	if c.Name() == "" || c.Name()[:4] != "tcp:" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}

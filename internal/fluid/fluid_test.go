@@ -1,0 +1,230 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"newmad/internal/des"
+)
+
+const mb = 1e6
+
+func TestSingleFlowUncontended(t *testing.T) {
+	w := des.NewWorld()
+	l := NewLink(w, "bus", 2000*mb)
+	var doneAt des.Time = -1
+	l.Start(1*mb, 1000*mb, func(at des.Time) { doneAt = at })
+	w.Run()
+	want := des.Time(1e9 / 1000) // 1 MB at 1000 MB/s = 1 ms
+	if doneAt < want || doneAt > want+1000 {
+		t.Fatalf("doneAt = %d, want ~%d", doneAt, want)
+	}
+}
+
+func TestFlowLimitedByOwnRateNotCapacity(t *testing.T) {
+	w := des.NewWorld()
+	l := NewLink(w, "bus", 10000*mb)
+	var doneAt des.Time
+	l.Start(10*mb, 500*mb, func(at des.Time) { doneAt = at })
+	w.Run()
+	want := des.Time(20e6) // 10 MB / 500 MB/s = 20 ms
+	if math.Abs(float64(doneAt-want)) > 1e4 {
+		t.Fatalf("doneAt = %d, want ~%d", doneAt, want)
+	}
+}
+
+func TestUnlimitedLink(t *testing.T) {
+	w := des.NewWorld()
+	l := NewLink(w, "bus", 0) // no cap
+	var d1, d2 des.Time
+	l.Start(1*mb, 1000*mb, func(at des.Time) { d1 = at })
+	l.Start(1*mb, 1000*mb, func(at des.Time) { d2 = at })
+	w.Run()
+	want := des.Time(1e6)
+	for i, d := range []des.Time{d1, d2} {
+		if math.Abs(float64(d-want)) > 1e4 {
+			t.Fatalf("flow %d finished at %d, want ~%d (no contention on unlimited link)", i, d, want)
+		}
+	}
+}
+
+func TestProportionalSharingUnderContention(t *testing.T) {
+	// Two flows with standalone rates 1200 and 850 on a 1675 MB/s bus:
+	// proportional shares are 1200/2050 and 850/2050 of 1675.
+	w := des.NewWorld()
+	l := NewLink(w, "bus", 1675*mb)
+	size := int64(16 * mb)
+	var dFast, dSlow des.Time
+	l.Start(size, 1200*mb, func(at des.Time) { dFast = at })
+	l.Start(size, 850*mb, func(at des.Time) { dSlow = at })
+	w.Run()
+	rateFast := 1200.0 / 2050.0 * 1675.0 // ~980 MB/s
+	// The fast flow finishes first; then the slow one speeds up to 850.
+	tFast := float64(size) / (rateFast * mb) * 1e9
+	if math.Abs(float64(dFast)-tFast) > tFast*0.01 {
+		t.Fatalf("fast done at %d, want ~%.0f", dFast, tFast)
+	}
+	if dSlow <= dFast {
+		t.Fatalf("slow flow finished first (%d <= %d)", dSlow, dFast)
+	}
+	// Conservation: slow flow's total time must beat its uncontended
+	// share-only time and be worse than its standalone time.
+	standalone := float64(size) / (850 * mb) * 1e9
+	if float64(dSlow) < standalone {
+		t.Fatalf("slow done at %d, faster than standalone %f", dSlow, standalone)
+	}
+}
+
+func TestAggregateThroughputCappedAtBus(t *testing.T) {
+	// Sizes proportional to standalone rates, so under proportional
+	// sharing both flows finish together and the bus runs saturated the
+	// whole time — the effect the paper's ratio-based stripping exploits.
+	w := des.NewWorld()
+	cap := 1675 * mb
+	l := NewLink(w, "bus", cap)
+	sizes := []int64{int64(12 * mb), int64(8.5 * mb)}
+	limits := []float64{1200 * mb, 850 * mb}
+	var last des.Time
+	done := 0
+	total := int64(0)
+	for i := range sizes {
+		total += sizes[i]
+		l.Start(sizes[i], limits[i], func(at des.Time) {
+			done++
+			if at > last {
+				last = at
+			}
+		})
+	}
+	w.Run()
+	if done != 2 {
+		t.Fatalf("done = %d, want 2", done)
+	}
+	agg := float64(total) / (float64(last) / 1e9)
+	if agg > cap*1.01 {
+		t.Fatalf("aggregate throughput %.0f exceeds bus %.0f", agg, cap)
+	}
+	if agg < cap*0.99 {
+		t.Fatalf("aggregate throughput %.0f below saturated bus %.0f", agg, cap)
+	}
+}
+
+func TestLateFlowSlowsEarlyFlow(t *testing.T) {
+	w := des.NewWorld()
+	l := NewLink(w, "bus", 1000*mb)
+	var d1 des.Time
+	l.Start(10*mb, 1000*mb, func(at des.Time) { d1 = at })
+	// After 5 ms, a competitor shows up.
+	w.At(des.Time(5e6), func() {
+		l.Start(10*mb, 1000*mb, func(at des.Time) {})
+	})
+	w.Run()
+	// First flow: 5 MB alone at 1000, then 5 MB at 500 → 5ms + 10ms.
+	want := des.Time(15e6)
+	if math.Abs(float64(d1-want)) > 1e5 {
+		t.Fatalf("d1 = %d, want ~%d", d1, want)
+	}
+}
+
+func TestCancelReturnsRemaining(t *testing.T) {
+	w := des.NewWorld()
+	l := NewLink(w, "bus", 1000*mb)
+	fired := false
+	f := l.Start(10*mb, 1000*mb, func(at des.Time) { fired = true })
+	w.At(des.Time(5e6), func() {
+		rem := l.Cancel(f)
+		want := int64(5 * mb)
+		if math.Abs(float64(rem-want)) > mb*0.01 {
+			t.Errorf("Cancel returned %d, want ~%d", rem, want)
+		}
+	})
+	w.Run()
+	if fired {
+		t.Fatal("cancelled flow still fired done")
+	}
+	if l.Active() != 0 {
+		t.Fatalf("Active = %d, want 0", l.Active())
+	}
+}
+
+func TestCancelFinishedFlowIsZero(t *testing.T) {
+	w := des.NewWorld()
+	l := NewLink(w, "bus", 1000*mb)
+	f := l.Start(1*mb, 1000*mb, func(at des.Time) {})
+	w.Run()
+	if rem := l.Cancel(f); rem != 0 {
+		t.Fatalf("Cancel after completion = %d, want 0", rem)
+	}
+}
+
+func TestZeroSizeFlowCompletesImmediately(t *testing.T) {
+	w := des.NewWorld()
+	l := NewLink(w, "bus", 1000*mb)
+	var doneAt des.Time = -1
+	l.Start(0, 1000*mb, func(at des.Time) { doneAt = at })
+	w.Run()
+	if doneAt != 0 {
+		t.Fatalf("zero flow done at %d, want 0", doneAt)
+	}
+}
+
+func TestNonPositiveLimitPanics(t *testing.T) {
+	w := des.NewWorld()
+	l := NewLink(w, "bus", 1000*mb)
+	defer func() {
+		if recover() == nil {
+			t.Error("Start with limit 0 did not panic")
+		}
+	}()
+	l.Start(1, 0, func(des.Time) {})
+}
+
+func TestLinkAccessors(t *testing.T) {
+	w := des.NewWorld()
+	l := NewLink(w, "io-bus", 42*mb)
+	if l.Name() != "io-bus" {
+		t.Errorf("Name = %q", l.Name())
+	}
+	if l.Capacity() != 42*mb {
+		t.Errorf("Capacity = %v", l.Capacity())
+	}
+}
+
+// Property: for any set of flows, each flow's completion time is at least
+// its standalone time and at most the time to serialize everything over
+// the bus, and completions are conservation-consistent.
+func TestPropertyFlowCompletionBounds(t *testing.T) {
+	f := func(sizes8 []uint8) bool {
+		if len(sizes8) == 0 || len(sizes8) > 12 {
+			return true
+		}
+		w := des.NewWorld()
+		capacity := 1500 * mb
+		l := NewLink(w, "bus", capacity)
+		var totalBytes float64
+		var lastDone des.Time
+		done := 0
+		for _, s8 := range sizes8 {
+			size := (int64(s8) + 1) * 100 * 1024 // 100 KiB .. 25.6 MiB
+			limit := 900 * mb
+			totalBytes += float64(size)
+			l.Start(size, limit, func(at des.Time) {
+				done++
+				if at > lastDone {
+					lastDone = at
+				}
+			})
+		}
+		w.Run()
+		if done != len(sizes8) {
+			return false
+		}
+		// All bytes crossed at <= bus capacity.
+		minTime := totalBytes / capacity * 1e9
+		return float64(lastDone) >= minTime*0.99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

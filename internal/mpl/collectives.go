@@ -1,0 +1,79 @@
+package mpl
+
+import (
+	"fmt"
+
+	"newmad/internal/core"
+)
+
+// Additional collectives, all linear algorithms rooted like Bcast. They
+// exercise the engine's multi-rail path: large per-rank blocks go
+// through the rendezvous/stripping machinery of whatever strategy the
+// engine runs.
+
+const (
+	tagGather  = 0xffff0004
+	tagScatter = 0xffff0005
+	tagGatherA = 0xffff0006
+)
+
+// Gather collects every rank's send block (all the same length) into
+// recv on root, ordered by rank. recv must be len(send)*Size() bytes on
+// root and is ignored elsewhere.
+func (c *Comm) Gather(root int, send []byte, recv []byte) {
+	if c.rank != root {
+		c.wait(c.gate(root).Isend(tagGather, send))
+		return
+	}
+	n := len(send)
+	if len(recv) < n*c.Size() {
+		panic(fmt.Sprintf("mpl: Gather recv %d < %d", len(recv), n*c.Size()))
+	}
+	copy(recv[root*n:], send)
+	reqs := make([]core.Request, 0, c.Size()-1)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		reqs = append(reqs, c.gate(r).Irecv(tagGather, recv[r*n:(r+1)*n]))
+	}
+	c.wait(reqs...)
+}
+
+// Scatter distributes equal blocks of send (on root) to every rank's
+// recv buffer: rank r receives send[r*len(recv):(r+1)*len(recv)].
+func (c *Comm) Scatter(root int, send []byte, recv []byte) {
+	n := len(recv)
+	if c.rank == root {
+		if len(send) < n*c.Size() {
+			panic(fmt.Sprintf("mpl: Scatter send %d < %d", len(send), n*c.Size()))
+		}
+		copy(recv, send[root*n:(root+1)*n])
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			c.wait(c.gate(r).Isend(tagScatter, send[r*n:(r+1)*n]))
+		}
+		return
+	}
+	c.wait(c.gate(root).Irecv(tagScatter, recv))
+}
+
+// Allgather gathers every rank's equal-sized block into every rank's
+// recv buffer (gather to rank 0, broadcast back).
+func (c *Comm) Allgather(send []byte, recv []byte) {
+	n := len(send)
+	if len(recv) < n*c.Size() {
+		panic(fmt.Sprintf("mpl: Allgather recv %d < %d", len(recv), n*c.Size()))
+	}
+	if c.rank == 0 {
+		copy(recv[:n], send)
+		for r := 1; r < c.Size(); r++ {
+			c.wait(c.gate(r).Irecv(tagGatherA, recv[r*n:(r+1)*n]))
+		}
+	} else {
+		c.wait(c.gate(0).Isend(tagGatherA, send))
+	}
+	c.Bcast(0, recv[:n*c.Size()])
+}

@@ -1,0 +1,179 @@
+// Package mpl is a minimal message-passing layer on top of the engine —
+// the direction the paper's §4 sketches (updating MPICH-Madeleine to use
+// NewMadeleine's multi-rail capabilities). It provides ranked
+// communicators with blocking point-to-point operations and a few
+// collectives, independent of whether the rails are simulated or real.
+package mpl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"newmad/internal/core"
+)
+
+// Waiter blocks until the given requests complete. Simulation code passes
+// a virtual-time waiter (bench.WaitReqs bound to a process); real-time
+// code passes Engine.WaitAll semantics.
+type Waiter func(reqs ...core.Request)
+
+// Comm is a communicator: a set of ranks, this process being one of
+// them, with a gate to every other rank.
+type Comm struct {
+	eng   *core.Engine
+	rank  int
+	gates []*core.Gate // indexed by rank; nil at our own rank
+	wait  Waiter
+}
+
+// collective tags live in a reserved namespace above user tags.
+const (
+	tagBarrier = 0xffff0001
+	tagBcast   = 0xffff0002
+	tagReduce  = 0xffff0003
+)
+
+// MaxUserTag is the largest tag available to applications.
+const MaxUserTag = 0xfffeffff
+
+// New creates a communicator. gates[r] must reach rank r and must be nil
+// exactly at index rank.
+func New(eng *core.Engine, rank int, gates []*core.Gate, wait Waiter) (*Comm, error) {
+	if rank < 0 || rank >= len(gates) {
+		return nil, fmt.Errorf("mpl: rank %d out of range [0,%d)", rank, len(gates))
+	}
+	if gates[rank] != nil {
+		return nil, fmt.Errorf("mpl: gates[%d] must be nil (self)", rank)
+	}
+	for r, g := range gates {
+		if r != rank && g == nil {
+			return nil, fmt.Errorf("mpl: missing gate to rank %d", r)
+		}
+	}
+	if wait == nil {
+		wait = func(reqs ...core.Request) {
+			for _, r := range reqs {
+				_ = eng.Wait(r)
+			}
+		}
+	}
+	return &Comm{eng: eng, rank: rank, gates: gates, wait: wait}, nil
+}
+
+// Rank returns this process's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return len(c.gates) }
+
+// Engine returns the underlying engine.
+func (c *Comm) Engine() *core.Engine { return c.eng }
+
+func (c *Comm) gate(rank int) *core.Gate {
+	if rank < 0 || rank >= len(c.gates) || rank == c.rank {
+		panic(fmt.Sprintf("mpl: bad peer rank %d (self %d, size %d)", rank, c.rank, len(c.gates)))
+	}
+	return c.gates[rank]
+}
+
+func checkTag(tag uint32) {
+	if tag > MaxUserTag {
+		panic(fmt.Sprintf("mpl: tag %#x is in the reserved collective range", tag))
+	}
+}
+
+// Isend starts a non-blocking send of data to rank dst.
+func (c *Comm) Isend(dst int, tag uint32, data []byte) *core.SendReq {
+	checkTag(tag)
+	return c.gate(dst).Isend(tag, data)
+}
+
+// Isendv starts a non-blocking multi-segment send to rank dst.
+func (c *Comm) Isendv(dst int, tag uint32, segs [][]byte) *core.SendReq {
+	checkTag(tag)
+	return c.gate(dst).Isendv(tag, segs)
+}
+
+// Irecv starts a non-blocking receive from rank src.
+func (c *Comm) Irecv(src int, tag uint32, buf []byte) *core.RecvReq {
+	checkTag(tag)
+	return c.gate(src).Irecv(tag, buf)
+}
+
+// Send sends data to dst and blocks until the buffer is reusable.
+func (c *Comm) Send(dst int, tag uint32, data []byte) {
+	c.wait(c.Isend(dst, tag, data))
+}
+
+// Recv blocks until the next message from src on tag has landed in buf
+// and returns its length.
+func (c *Comm) Recv(src int, tag uint32, buf []byte) int {
+	r := c.Irecv(src, tag, buf)
+	c.wait(r)
+	return r.Len()
+}
+
+// SendRecv exchanges messages with two (possibly equal) peers
+// concurrently — the halo-exchange workhorse.
+func (c *Comm) SendRecv(dst int, sendTag uint32, send []byte, src int, recvTag uint32, recv []byte) int {
+	rr := c.Irecv(src, recvTag, recv)
+	sr := c.Isend(dst, sendTag, send)
+	c.wait(sr, rr)
+	return rr.Len()
+}
+
+// Barrier blocks until every rank has entered it. Linear algorithm:
+// everyone pings rank 0, rank 0 answers everyone.
+func (c *Comm) Barrier() {
+	var b [1]byte
+	if c.rank == 0 {
+		for r := 1; r < c.Size(); r++ {
+			c.wait(c.gate(r).Irecv(tagBarrier, b[:]))
+		}
+		reqs := make([]core.Request, 0, c.Size()-1)
+		for r := 1; r < c.Size(); r++ {
+			reqs = append(reqs, c.gate(r).Isend(tagBarrier, b[:]))
+		}
+		c.wait(reqs...)
+		return
+	}
+	c.wait(c.gate(0).Isend(tagBarrier, b[:]))
+	c.wait(c.gate(0).Irecv(tagBarrier, b[:]))
+}
+
+// Bcast broadcasts root's buf to every rank (linear fan-out from root).
+func (c *Comm) Bcast(root int, buf []byte) {
+	if c.rank == root {
+		reqs := make([]core.Request, 0, c.Size()-1)
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			reqs = append(reqs, c.gate(r).Isend(tagBcast, buf))
+		}
+		c.wait(reqs...)
+		return
+	}
+	c.wait(c.gate(root).Irecv(tagBcast, buf))
+}
+
+// AllSumInt64 returns the sum of every rank's contribution (reduce to
+// rank 0, then broadcast).
+func (c *Comm) AllSumInt64(v int64) int64 {
+	var b [8]byte
+	if c.rank == 0 {
+		sum := v
+		for r := 1; r < c.Size(); r++ {
+			c.wait(c.gate(r).Irecv(tagReduce, b[:]))
+			sum += int64(binary.LittleEndian.Uint64(b[:]))
+		}
+		binary.LittleEndian.PutUint64(b[:], uint64(sum))
+		c.Bcast(0, b[:])
+		return sum
+	}
+	var sb [8]byte
+	binary.LittleEndian.PutUint64(sb[:], uint64(v))
+	c.wait(c.gate(0).Isend(tagReduce, sb[:]))
+	c.Bcast(0, b[:])
+	return int64(binary.LittleEndian.Uint64(b[:]))
+}

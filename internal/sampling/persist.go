@@ -1,0 +1,81 @@
+package sampling
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"newmad/internal/core"
+)
+
+// railJSON is the persisted form of one rail profile.
+type railJSON struct {
+	Name        string  `json:"name"`
+	LatencyNS   int64   `json:"latency_ns"`
+	BandwidthBS float64 `json:"bandwidth_bytes_per_sec"`
+	EagerMax    int     `json:"eager_max"`
+	PIOMax      int     `json:"pio_max"`
+}
+
+type fileJSON struct {
+	Version int        `json:"version"`
+	Rails   []railJSON `json:"rails"`
+}
+
+const fileVersion = 1
+
+// Marshal encodes rail profiles as JSON.
+func Marshal(profiles []core.Profile) ([]byte, error) {
+	f := fileJSON{Version: fileVersion}
+	for _, p := range profiles {
+		f.Rails = append(f.Rails, railJSON{
+			Name:        p.Name,
+			LatencyNS:   p.Latency.Nanoseconds(),
+			BandwidthBS: p.Bandwidth,
+			EagerMax:    p.EagerMax,
+			PIOMax:      p.PIOMax,
+		})
+	}
+	return json.MarshalIndent(f, "", "  ")
+}
+
+// Unmarshal decodes rail profiles from JSON produced by Marshal.
+func Unmarshal(data []byte) ([]core.Profile, error) {
+	var f fileJSON
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("sampling: parse profiles: %w", err)
+	}
+	if f.Version != fileVersion {
+		return nil, fmt.Errorf("sampling: profile file version %d, want %d", f.Version, fileVersion)
+	}
+	var out []core.Profile
+	for _, r := range f.Rails {
+		out = append(out, core.Profile{
+			Name:      r.Name,
+			Latency:   time.Duration(r.LatencyNS),
+			Bandwidth: r.BandwidthBS,
+			EagerMax:  r.EagerMax,
+			PIOMax:    r.PIOMax,
+		})
+	}
+	return out, nil
+}
+
+// Save writes rail profiles to a JSON file.
+func Save(path string, profiles []core.Profile) error {
+	data, err := Marshal(profiles)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads rail profiles from a JSON file written by Save.
+func Load(path string) ([]core.Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}

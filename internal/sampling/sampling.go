@@ -1,0 +1,94 @@
+// Package sampling implements NewMadeleine's initialization-time network
+// sampling (paper §3.4): each rail is measured with a driver-level
+// ping-pong sweep, a latency/bandwidth profile is fitted, and stripping
+// ratios are derived from the per-rail bandwidths. Profiles can be
+// persisted to JSON so production runs skip the sampling phase.
+package sampling
+
+import (
+	"time"
+)
+
+// Measurement is one sampled point: the one-way transfer time for a
+// payload of Size bytes.
+type Measurement struct {
+	Size int
+	T    time.Duration
+}
+
+// Fit is a latency/bandwidth model T(S) = Latency + S/Bandwidth fitted to
+// measurements.
+type Fit struct {
+	Latency   time.Duration
+	Bandwidth float64 // bytes per second
+}
+
+// Estimate fits the affine cost model to the measurements by least
+// squares. With fewer than two distinct sizes the bandwidth cannot be
+// identified and is reported as 0.
+func Estimate(meas []Measurement) Fit {
+	if len(meas) == 0 {
+		return Fit{}
+	}
+	var sx, sy, sxx, sxy float64
+	for _, m := range meas {
+		x := float64(m.Size)
+		y := float64(m.T.Nanoseconds())
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	n := float64(len(meas))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{Latency: meas[0].T}
+	}
+	slope := (n*sxy - sx*sy) / den // ns per byte
+	intercept := (sy - slope*sx) / n
+	f := Fit{}
+	if intercept > 0 {
+		f.Latency = time.Duration(intercept)
+	}
+	if slope > 0 {
+		f.Bandwidth = 1e9 / slope
+	}
+	return f
+}
+
+// Ratios converts per-rail bandwidths into stripping ratios that sum to
+// 1. Rails with unknown (zero) bandwidth get an equal share of whatever
+// the known rails leave conceptually unused — in practice, equal weights
+// are used when nothing is known.
+func Ratios(bandwidths []float64) []float64 {
+	out := make([]float64, len(bandwidths))
+	if len(bandwidths) == 0 {
+		return out
+	}
+	var sum float64
+	known := 0
+	for _, b := range bandwidths {
+		if b > 0 {
+			sum += b
+			known++
+		}
+	}
+	if known == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i, b := range bandwidths {
+		if b > 0 {
+			out[i] = b / sum
+		}
+	}
+	return out
+}
+
+// DefaultSizes is the sampling sweep used at initialization: a few small
+// messages to pin down latency and a few large ones for bandwidth.
+func DefaultSizes() []int {
+	return []int{64, 1 << 10, 64 << 10, 512 << 10, 2 << 20, 8 << 20}
+}

@@ -1,0 +1,192 @@
+package sampling
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"newmad/internal/core"
+	"newmad/internal/des"
+	"newmad/internal/simnet"
+)
+
+func TestEstimateRecoversAffineModel(t *testing.T) {
+	// T(S) = 2 us + S / (1000 MB/s)
+	lat := 2 * time.Microsecond
+	bw := 1000e6
+	var meas []Measurement
+	for _, s := range []int{0, 1000, 100000, 1000000, 4000000} {
+		ns := float64(lat.Nanoseconds()) + float64(s)/bw*1e9
+		meas = append(meas, Measurement{Size: s, T: time.Duration(ns)})
+	}
+	fit := Estimate(meas)
+	if math.Abs(float64(fit.Latency-lat)) > 50 {
+		t.Fatalf("latency = %v, want %v", fit.Latency, lat)
+	}
+	if math.Abs(fit.Bandwidth-bw)/bw > 0.001 {
+		t.Fatalf("bandwidth = %.0f, want %.0f", fit.Bandwidth, bw)
+	}
+}
+
+func TestEstimateEmpty(t *testing.T) {
+	fit := Estimate(nil)
+	if fit.Latency != 0 || fit.Bandwidth != 0 {
+		t.Fatalf("Estimate(nil) = %+v", fit)
+	}
+}
+
+func TestEstimateSinglePoint(t *testing.T) {
+	fit := Estimate([]Measurement{{Size: 100, T: time.Microsecond}})
+	if fit.Bandwidth != 0 {
+		t.Fatalf("bandwidth from one point = %f", fit.Bandwidth)
+	}
+	if fit.Latency != time.Microsecond {
+		t.Fatalf("latency = %v", fit.Latency)
+	}
+}
+
+func TestEstimatePropertyExactFit(t *testing.T) {
+	f := func(latUS uint16, bwMBr uint16) bool {
+		lat := float64(latUS%1000+1) * 1000 // 1..1000 us in ns
+		bw := float64(bwMBr%2000+50) * 1e6
+		var meas []Measurement
+		for _, s := range []int{64, 4096, 262144, 2097152} {
+			ns := lat + float64(s)/bw*1e9
+			meas = append(meas, Measurement{Size: s, T: time.Duration(ns)})
+		}
+		fit := Estimate(meas)
+		okLat := math.Abs(float64(fit.Latency.Nanoseconds())-lat) < lat*0.02+100
+		okBW := math.Abs(fit.Bandwidth-bw)/bw < 0.02
+		return okLat && okBW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	r := Ratios([]float64{1200e6, 850e6})
+	if math.Abs(r[0]-1200.0/2050.0) > 1e-9 || math.Abs(r[1]-850.0/2050.0) > 1e-9 {
+		t.Fatalf("ratios = %v", r)
+	}
+	sum := r[0] + r[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ratios sum to %f", sum)
+	}
+}
+
+func TestRatiosUnknownBandwidths(t *testing.T) {
+	r := Ratios([]float64{0, 0, 0})
+	for _, v := range r {
+		if math.Abs(v-1.0/3.0) > 1e-9 {
+			t.Fatalf("equal fallback broken: %v", r)
+		}
+	}
+	if len(Ratios(nil)) != 0 {
+		t.Fatal("Ratios(nil) not empty")
+	}
+	r = Ratios([]float64{100, 0})
+	if r[0] != 1 || r[1] != 0 {
+		t.Fatalf("mixed known/unknown = %v", r)
+	}
+}
+
+func TestSampleNICPairMatchesModel(t *testing.T) {
+	w := des.NewWorld()
+	a := simnet.NewHost(w, "A", simnet.Opteron())
+	b := simnet.NewHost(w, "B", simnet.Opteron())
+	na := a.NewNIC(simnet.Myri10G())
+	nb := b.NewNIC(simnet.Myri10G())
+	simnet.Connect(na, nb)
+	prof := SampleNICPair(w, na, nb, nil)
+	if prof.Name != "myri10g" {
+		t.Fatalf("name %q", prof.Name)
+	}
+	if math.Abs(prof.Bandwidth-1200e6)/1200e6 > 0.02 {
+		t.Fatalf("sampled bandwidth %.0f, want ~1200e6", prof.Bandwidth)
+	}
+	if prof.Latency <= 0 || prof.Latency > 10*time.Microsecond {
+		t.Fatalf("sampled latency %v out of range", prof.Latency)
+	}
+	if prof.EagerMax != 32<<10 || prof.PIOMax != 8<<10 {
+		t.Fatalf("driver capabilities lost: %+v", prof)
+	}
+}
+
+func TestSampleNICPairCustomSizes(t *testing.T) {
+	w := des.NewWorld()
+	a := simnet.NewHost(w, "A", simnet.Opteron())
+	b := simnet.NewHost(w, "B", simnet.Opteron())
+	na := a.NewNIC(simnet.QsNetII())
+	nb := b.NewNIC(simnet.QsNetII())
+	simnet.Connect(na, nb)
+	prof := SampleNICPair(w, na, nb, []int{1024, 1 << 20, 4 << 20})
+	if math.Abs(prof.Bandwidth-850e6)/850e6 > 0.02 {
+		t.Fatalf("sampled bandwidth %.0f, want ~850e6", prof.Bandwidth)
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	profiles := []core.Profile{
+		{Name: "myri10g", Latency: 2800 * time.Nanosecond, Bandwidth: 1.2e9, EagerMax: 32 << 10, PIOMax: 8 << 10},
+		{Name: "qsnet2", Latency: 1700 * time.Nanosecond, Bandwidth: 8.5e8, EagerMax: 16 << 10, PIOMax: 4 << 10},
+	}
+	path := filepath.Join(t.TempDir(), "profiles.json")
+	if err := Save(path, profiles); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d profiles", len(got))
+	}
+	for i := range profiles {
+		if got[i] != profiles[i] {
+			t.Fatalf("profile %d: got %+v want %+v", i, got[i], profiles[i])
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestUnmarshalBadVersion(t *testing.T) {
+	if _, err := Unmarshal([]byte(`{"version": 99, "rails": []}`)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveUnwritablePath(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Skip("cannot chmod")
+	}
+	defer os.Chmod(dir, 0o700)
+	err := Save(filepath.Join(dir, "x.json"), nil)
+	if os.Geteuid() != 0 && err == nil {
+		t.Fatal("write to read-only dir succeeded")
+	}
+}
+
+func TestDefaultSizesAreSorted(t *testing.T) {
+	sizes := DefaultSizes()
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatalf("DefaultSizes not increasing: %v", sizes)
+		}
+	}
+}

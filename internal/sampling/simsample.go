@@ -1,0 +1,60 @@
+package sampling
+
+import (
+	"fmt"
+	"time"
+
+	"newmad/internal/core"
+	"newmad/internal/des"
+	"newmad/internal/simnet"
+)
+
+// SampleNICPair measures a connected pair of simulated NICs with a raw
+// driver-level ping-pong (no engine involved, exactly like NewMadeleine's
+// init-time sampling below the scheduling layer) and returns the fitted
+// profile for the rail. It temporarily owns both NICs' deliver callbacks
+// and runs the world to drain its own events, so it must be called before
+// the engine drivers are bound. sizes nil means DefaultSizes.
+func SampleNICPair(w *des.World, a, b *simnet.NIC, sizes []int) core.Profile {
+	if sizes == nil {
+		sizes = DefaultSizes()
+	}
+	meas := make([]Measurement, 0, len(sizes))
+	b.SetDeliver(func(meta any) {
+		n := meta.(int)
+		if err := b.Send(n, n, func() {}); err != nil {
+			panic(fmt.Sprintf("sampling: echo send: %v", err))
+		}
+	})
+	idx := 0
+	var start des.Time
+	var sendNext func()
+	a.SetDeliver(func(meta any) {
+		rtt := w.Now() - start
+		meas = append(meas, Measurement{Size: sizes[idx], T: time.Duration(rtt / 2)})
+		idx++
+		sendNext()
+	})
+	sendNext = func() {
+		if idx >= len(sizes) {
+			return
+		}
+		start = w.Now()
+		if err := a.Send(sizes[idx], sizes[idx], func() {}); err != nil {
+			panic(fmt.Sprintf("sampling: probe send: %v", err))
+		}
+	}
+	w.After(0, func() { sendNext() })
+	w.Run()
+	a.SetDeliver(nil)
+	b.SetDeliver(nil)
+	fit := Estimate(meas)
+	p := a.Params()
+	return core.Profile{
+		Name:      p.Name,
+		Latency:   fit.Latency,
+		Bandwidth: fit.Bandwidth,
+		EagerMax:  p.EagerMax,
+		PIOMax:    p.PIOMax,
+	}
+}

@@ -1,0 +1,250 @@
+// Package session bootstraps real multi-rail connections between two
+// engine processes: one control TCP connection negotiates the session
+// (library version, peer names, rail addresses and profiles), then each
+// rail is dialed, authenticated with a preamble token, and attached to a
+// gate in a deterministic order. It replaces the hand-wiring of
+// listeners and dials that cmd/nmad-pingpong does manually.
+package session
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"newmad/internal/core"
+	"newmad/internal/drivers/tcpdrv"
+)
+
+// Version is the wire protocol version; both ends must match.
+const Version = 1
+
+// RailSpec declares one rail a server offers.
+type RailSpec struct {
+	// Addr is the listen address for this rail ("host:port", port 0 for
+	// ephemeral).
+	Addr string
+	// Profile declares the rail characteristics (zero values get
+	// tcpdrv defaults).
+	Profile core.Profile
+}
+
+// hello is the control-channel negotiation message.
+type hello struct {
+	Version int        `json:"version"`
+	Name    string     `json:"name"`
+	Token   string     `json:"token,omitempty"`
+	Rails   []railInfo `json:"rails,omitempty"`
+}
+
+type railInfo struct {
+	Addr        string  `json:"addr"`
+	Name        string  `json:"name"`
+	LatencyNS   int64   `json:"latency_ns"`
+	BandwidthBS float64 `json:"bandwidth_bytes_per_sec"`
+	EagerMax    int     `json:"eager_max"`
+	PIOMax      int     `json:"pio_max"`
+}
+
+// preamble authenticates a rail connection to its session.
+type preamble struct {
+	Token string `json:"token"`
+	Rail  int    `json:"rail"`
+}
+
+// Server accepts multi-rail sessions.
+type Server struct {
+	name  string
+	eng   *core.Engine
+	ctrl  net.Listener
+	rails []net.Listener
+	specs []RailSpec
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Listen starts a server for the given engine: a control listener on
+// ctrlAddr plus one listener per rail spec.
+func Listen(eng *core.Engine, name, ctrlAddr string, rails []RailSpec) (*Server, error) {
+	if len(rails) == 0 {
+		return nil, fmt.Errorf("session: no rails offered")
+	}
+	ctrl, err := net.Listen("tcp", ctrlAddr)
+	if err != nil {
+		return nil, fmt.Errorf("session: control listen: %w", err)
+	}
+	s := &Server{name: name, eng: eng, ctrl: ctrl, specs: rails}
+	for i, spec := range rails {
+		l, err := net.Listen("tcp", spec.Addr)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("session: rail %d listen %s: %w", i, spec.Addr, err)
+		}
+		s.rails = append(s.rails, l)
+	}
+	return s, nil
+}
+
+// ControlAddr returns the bound control address (useful with ":0").
+func (s *Server) ControlAddr() string { return s.ctrl.Addr().String() }
+
+// Accept negotiates one incoming session and returns the gate to the
+// peer plus the peer's name. Rails are attached in spec order.
+func (s *Server) Accept() (*core.Gate, string, error) {
+	conn, err := s.ctrl.Accept()
+	if err != nil {
+		return nil, "", fmt.Errorf("session: accept control: %w", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	r := bufio.NewReader(conn)
+	var cli hello
+	if err := readJSON(r, &cli); err != nil {
+		return nil, "", fmt.Errorf("session: read client hello: %w", err)
+	}
+	if cli.Version != Version {
+		writeJSON(conn, hello{Version: Version, Name: s.name})
+		return nil, "", fmt.Errorf("session: version mismatch: client %d, server %d", cli.Version, Version)
+	}
+	token := fmt.Sprintf("%08x%08x", rand.Uint32(), rand.Uint32())
+	srv := hello{Version: Version, Name: s.name, Token: token}
+	for i, spec := range s.specs {
+		prof := spec.Profile
+		srv.Rails = append(srv.Rails, railInfo{
+			Addr: s.rails[i].Addr().String(), Name: prof.Name,
+			LatencyNS: prof.Latency.Nanoseconds(), BandwidthBS: prof.Bandwidth,
+			EagerMax: prof.EagerMax, PIOMax: prof.PIOMax,
+		})
+	}
+	if err := writeJSON(conn, srv); err != nil {
+		return nil, "", fmt.Errorf("session: write server hello: %w", err)
+	}
+	gate := s.eng.NewGate(cli.Name)
+	for i := range s.specs {
+		rc, err := s.rails[i].Accept()
+		if err != nil {
+			return nil, "", fmt.Errorf("session: accept rail %d: %w", i, err)
+		}
+		rc.SetDeadline(time.Now().Add(30 * time.Second))
+		var pre preamble
+		// The preamble must be read without buffering ahead: engine
+		// frames may already be queued behind it on this connection,
+		// and a buffered reader would swallow them before the driver
+		// takes over the socket.
+		if err := readJSONUnbuffered(rc, &pre); err != nil {
+			rc.Close()
+			return nil, "", fmt.Errorf("session: rail %d preamble: %w", i, err)
+		}
+		if pre.Token != token || pre.Rail != i {
+			rc.Close()
+			return nil, "", fmt.Errorf("session: rail %d bad preamble (rail %d)", i, pre.Rail)
+		}
+		rc.SetDeadline(time.Time{})
+		gate.AddRail(tcpdrv.New(rc, tcpdrv.Options{Profile: s.specs[i].Profile}))
+	}
+	return gate, cli.Name, nil
+}
+
+// Close shuts every listener down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.ctrl.Close()
+	for _, l := range s.rails {
+		if e := l.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// Connect dials a server's control address and brings up every offered
+// rail, returning the gate and the server's name.
+func Connect(eng *core.Engine, name, ctrlAddr string) (*core.Gate, string, error) {
+	conn, err := net.DialTimeout("tcp", ctrlAddr, 30*time.Second)
+	if err != nil {
+		return nil, "", fmt.Errorf("session: dial control %s: %w", ctrlAddr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	if err := writeJSON(conn, hello{Version: Version, Name: name}); err != nil {
+		return nil, "", fmt.Errorf("session: write hello: %w", err)
+	}
+	var srv hello
+	if err := readJSON(bufio.NewReader(conn), &srv); err != nil {
+		return nil, "", fmt.Errorf("session: read server hello: %w", err)
+	}
+	if srv.Version != Version {
+		return nil, "", fmt.Errorf("session: version mismatch: server %d, client %d", srv.Version, Version)
+	}
+	if len(srv.Rails) == 0 {
+		return nil, "", fmt.Errorf("session: server offered no rails")
+	}
+	gate := eng.NewGate(srv.Name)
+	for i, ri := range srv.Rails {
+		rc, err := net.DialTimeout("tcp", ri.Addr, 30*time.Second)
+		if err != nil {
+			return nil, "", fmt.Errorf("session: dial rail %d %s: %w", i, ri.Addr, err)
+		}
+		if err := writeJSON(rc, preamble{Token: srv.Token, Rail: i}); err != nil {
+			rc.Close()
+			return nil, "", fmt.Errorf("session: rail %d preamble: %w", i, err)
+		}
+		prof := core.Profile{
+			Name: ri.Name, Latency: time.Duration(ri.LatencyNS), Bandwidth: ri.BandwidthBS,
+			EagerMax: ri.EagerMax, PIOMax: ri.PIOMax,
+		}
+		gate.AddRail(tcpdrv.New(rc, tcpdrv.Options{Profile: prof}))
+	}
+	return gate, srv.Name, nil
+}
+
+func writeJSON(w net.Conn, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+func readJSON(r *bufio.Reader, v any) error {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(line, v)
+}
+
+// readJSONUnbuffered reads one newline-terminated JSON value a byte at a
+// time, consuming nothing past the newline. Used where the connection is
+// subsequently handed to a driver and over-reading would lose frames.
+func readJSONUnbuffered(c net.Conn, v any) error {
+	var line []byte
+	var b [1]byte
+	for {
+		if _, err := c.Read(b[:]); err != nil {
+			return err
+		}
+		if b[0] == '\n' {
+			break
+		}
+		line = append(line, b[0])
+		if len(line) > 4096 {
+			return fmt.Errorf("session: preamble too long")
+		}
+	}
+	return json.Unmarshal(line, v)
+}
+
+// jsonMarshal is a seam for tests building raw protocol bytes.
+func jsonMarshal(v any) ([]byte, error) { return json.Marshal(v) }

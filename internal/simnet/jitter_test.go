@@ -1,0 +1,77 @@
+package simnet
+
+import (
+	"testing"
+
+	"newmad/internal/des"
+)
+
+// jitterPair runs one small PIO send per trial and returns the delivery
+// times.
+func jitterDeliveries(t *testing.T, jitter float64, sends int) []des.Time {
+	t.Helper()
+	p := testNIC()
+	p.Jitter = jitter
+	w := des.NewWorld()
+	a := NewHost(w, "A", HostParams{})
+	b := NewHost(w, "B", HostParams{})
+	na := a.NewNIC(p)
+	nb := b.NewNIC(p)
+	Connect(na, nb)
+	var times []des.Time
+	nb.SetDeliver(func(any) { times = append(times, w.Now()) })
+	for i := 0; i < sends; i++ {
+		if err := na.Send(100, nil, func() {}); err != nil {
+			t.Fatal(err)
+		}
+		w.Run()
+	}
+	return times
+}
+
+func TestJitterZeroIsExact(t *testing.T) {
+	times := jitterDeliveries(t, 0, 3)
+	gap1 := times[1] - times[0]
+	gap2 := times[2] - times[1]
+	if gap1 != gap2 {
+		t.Fatalf("noise-free gaps differ: %d vs %d", gap1, gap2)
+	}
+}
+
+func TestJitterPerturbsCosts(t *testing.T) {
+	times := jitterDeliveries(t, 0.2, 8)
+	gaps := make(map[des.Time]bool)
+	for i := 1; i < len(times); i++ {
+		gaps[times[i]-times[i-1]] = true
+	}
+	if len(gaps) < 2 {
+		t.Fatalf("jitter produced uniform gaps: %v", times)
+	}
+}
+
+func TestJitterIsDeterministic(t *testing.T) {
+	a := jitterDeliveries(t, 0.2, 6)
+	b := jitterDeliveries(t, 0.2, 6)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded jitter not reproducible at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	// With 10% jitter a cost can move at most 10% either way; delivery
+	// gaps must stay within the noise envelope of the exact gap.
+	exact := jitterDeliveries(t, 0, 2)
+	gap := float64(exact[1] - exact[0])
+	noisy := jitterDeliveries(t, 0.1, 10)
+	for i := 1; i < len(noisy); i++ {
+		g := float64(noisy[i] - noisy[i-1])
+		if g < gap*0.8 || g > gap*1.2 {
+			t.Fatalf("gap %d = %.0f outside envelope of %.0f", i, g, gap)
+		}
+	}
+}

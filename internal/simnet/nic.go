@@ -1,0 +1,147 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"newmad/internal/des"
+)
+
+// transferNS converts bytes at rate (bytes/sec) to nanoseconds, rounded
+// to nearest.
+func transferNS(bytes int, rate float64) int64 {
+	return int64(math.Round(float64(bytes) / rate * 1e9))
+}
+
+// nicSeed derives a stable jitter seed from the NIC's identity.
+func nicSeed(host, nic string, index int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%s/%d", host, nic, index)
+	return int64(h.Sum64())
+}
+
+// ErrNICDown reports a send posted on a disabled NIC.
+var ErrNICDown = errors.New("simnet: nic down")
+
+// ErrNotConnected reports a send on an unconnected NIC.
+var ErrNotConnected = errors.New("simnet: nic not connected")
+
+// NIC is one simulated network interface. Sends below PIOMax are
+// programmed I/O: the host CPU is charged for the full copy and the send
+// completes when the copy does, so two PIO sends (even on different NICs)
+// cannot overlap on a single-lane CPU. Larger sends are DMA: the CPU pays
+// only SendOverhead+DMASetup and the body moves as a fluid flow limited by
+// the NIC bandwidth and its proportional share of the host I/O bus.
+type NIC struct {
+	host    *Host
+	params  NICParams
+	index   int
+	peer    *NIC
+	down    bool
+	deliver func(meta any)
+	rng     *rand.Rand // non-nil when Jitter > 0
+
+	// stats
+	pioSends, dmaSends uint64
+}
+
+// noisy scales a cost by the NIC's jitter factor (identity when jitter
+// is disabled).
+func (n *NIC) noisy(ns int64) int64 {
+	if n.rng == nil {
+		return ns
+	}
+	f := 1 + n.params.Jitter*(2*n.rng.Float64()-1)
+	return int64(math.Round(float64(ns) * f))
+}
+
+// Params returns the NIC model parameters.
+func (n *NIC) Params() NICParams { return n.params }
+
+// Host returns the owning host.
+func (n *NIC) Host() *Host { return n.host }
+
+// Peer returns the connected remote NIC (nil before Connect).
+func (n *NIC) Peer() *NIC { return n.peer }
+
+// Down reports whether the NIC is disabled.
+func (n *NIC) Down() bool { return n.down }
+
+// SetDown enables or disables the NIC. Packets in flight toward a downed
+// NIC are dropped at arrival.
+func (n *NIC) SetDown(down bool) { n.down = down }
+
+// SetDeliver installs the ingress callback, invoked at the receiving host
+// after poll-loop and per-packet costs have been charged.
+func (n *NIC) SetDeliver(fn func(meta any)) { n.deliver = fn }
+
+// Stats reports how many PIO and DMA sends the NIC performed.
+func (n *NIC) Stats() (pio, dma uint64) { return n.pioSends, n.dmaSends }
+
+// Connect wires two NICs back to back. The wire latency used in each
+// direction is the sending NIC's.
+func Connect(a, b *NIC) {
+	a.peer = b
+	b.peer = a
+}
+
+// Send transmits size bytes of logical payload carrying meta. onSent runs
+// when the local send completes (the rail is free again); delivery at the
+// peer happens one wire latency later. Physical per-packet overhead
+// (HeaderBytes) is added to the wire size.
+func (n *NIC) Send(size int, meta any, onSent func()) error {
+	if n.down {
+		return ErrNICDown
+	}
+	if n.peer == nil {
+		return ErrNotConnected
+	}
+	w := n.host.W
+	wire := size + n.params.HeaderBytes
+	cpu := n.host.CPU
+	if wire <= n.params.PIOMax {
+		n.pioSends++
+		done := cpu.Charge(n.noisy(n.params.SendOverhead.Nanoseconds() + transferNS(wire, n.params.Bandwidth)))
+		w.At(des.Time(done), onSent)
+		n.arriveAt(des.Time(done)+des.FromDuration(n.params.WireLatency), meta)
+		return nil
+	}
+	n.dmaSends++
+	start := cpu.Charge(n.noisy(n.params.SendOverhead.Nanoseconds() + n.params.DMASetup.Nanoseconds()))
+	lat := des.FromDuration(n.params.WireLatency)
+	bw := n.params.Bandwidth
+	w.At(des.Time(start), func() {
+		n.host.Bus.Start(int64(wire), bw, func(at des.Time) {
+			w.At(at, onSent)
+			n.arriveAt(at+lat, meta)
+		})
+	})
+	return nil
+}
+
+// arriveAt schedules peer ingress at time t.
+func (n *NIC) arriveAt(t des.Time, meta any) {
+	peer := n.peer
+	n.host.W.At(t, func() {
+		if peer.down {
+			return
+		}
+		peer.ingress(meta)
+	})
+}
+
+// ingress charges the receiving host one progress-loop iteration (polling
+// every enabled NIC) plus this NIC's per-packet receive cost, then hands
+// the packet up at the time the CPU is done with it.
+func (n *NIC) ingress(meta any) {
+	h := n.host
+	h.ChargePollLoop()
+	done := h.CPU.Charge(n.noisy(n.params.RecvCost.Nanoseconds()))
+	if n.deliver == nil {
+		panic(fmt.Sprintf("simnet: %s/%s has no deliver callback", h.Name, n.params.Name))
+	}
+	h.W.At(des.Time(done), func() { n.deliver(meta) })
+}

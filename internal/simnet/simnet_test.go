@@ -1,0 +1,329 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"newmad/internal/des"
+)
+
+func testNIC() NICParams {
+	return NICParams{
+		Name:         "test",
+		WireLatency:  time.Microsecond,
+		Bandwidth:    1000e6,
+		PIOMax:       4096,
+		EagerMax:     16384,
+		SendOverhead: 500 * time.Nanosecond,
+		RecvCost:     300 * time.Nanosecond,
+		PollCost:     100 * time.Nanosecond,
+		DMASetup:     700 * time.Nanosecond,
+		HeaderBytes:  32,
+	}
+}
+
+func hostPair(t *testing.T, hp HostParams, nics ...NICParams) (*des.World, *Host, *Host) {
+	t.Helper()
+	w := des.NewWorld()
+	a := NewHost(w, "A", hp)
+	b := NewHost(w, "B", hp)
+	for _, np := range nics {
+		na := a.NewNIC(np)
+		nb := b.NewNIC(np)
+		Connect(na, nb)
+	}
+	return w, a, b
+}
+
+func TestCPUChargeSerializes(t *testing.T) {
+	w := des.NewWorld()
+	c := NewCPU(w, 1)
+	if got := c.Charge(100); got != 100 {
+		t.Fatalf("first charge done at %d, want 100", got)
+	}
+	if got := c.Charge(50); got != 150 {
+		t.Fatalf("second charge done at %d, want 150 (serialized)", got)
+	}
+	if c.Now() != 150 {
+		t.Fatalf("Now = %d, want 150", c.Now())
+	}
+}
+
+func TestCPUMultiLaneOverlaps(t *testing.T) {
+	w := des.NewWorld()
+	c := NewCPU(w, 2)
+	c.Charge(100)
+	if got := c.Charge(100); got != 100 {
+		t.Fatalf("second lane charge done at %d, want 100 (parallel)", got)
+	}
+	if got := c.Charge(10); got != 110 {
+		t.Fatalf("third charge done at %d, want 110", got)
+	}
+	if c.BusyUntil() != 110 {
+		t.Fatalf("BusyUntil = %d, want 110", c.BusyUntil())
+	}
+}
+
+func TestCPUNegativeChargeClamped(t *testing.T) {
+	w := des.NewWorld()
+	c := NewCPU(w, 1)
+	if got := c.Charge(-5); got != 0 {
+		t.Fatalf("Charge(-5) = %d, want 0", got)
+	}
+}
+
+func TestCPUMinimumOneLane(t *testing.T) {
+	w := des.NewWorld()
+	if NewCPU(w, 0).Lanes() != 1 {
+		t.Fatal("zero lanes not clamped to 1")
+	}
+}
+
+func TestPIOSendTimeline(t *testing.T) {
+	w, a, b := hostPair(t, HostParams{}, testNIC())
+	na, nb := a.NICs()[0], b.NICs()[0]
+	payload := 1000 // wire = 1032 <= PIOMax: PIO path
+	var sentAt, deliveredAt des.Time = -1, -1
+	nb.SetDeliver(func(meta any) { deliveredAt = w.Now() })
+	if err := na.Send(payload, nil, func() { sentAt = w.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	// Send done = overhead + wire/bw = 500 + 1032ns = 1532.
+	wantSent := des.Time(500 + 1032)
+	if sentAt != wantSent {
+		t.Fatalf("sentAt = %d, want %d", sentAt, wantSent)
+	}
+	// Delivery = sent + latency(1000) + pollLoop(100) + recv(300).
+	wantDel := wantSent + 1000 + 100 + 300
+	if deliveredAt != wantDel {
+		t.Fatalf("deliveredAt = %d, want %d", deliveredAt, wantDel)
+	}
+	pio, dma := na.Stats()
+	if pio != 1 || dma != 0 {
+		t.Fatalf("stats pio=%d dma=%d, want 1,0", pio, dma)
+	}
+}
+
+func TestPIOKeepsCPUBusy(t *testing.T) {
+	w, a, b := hostPair(t, HostParams{}, testNIC())
+	na := a.NICs()[0]
+	b.NICs()[0].SetDeliver(func(any) {})
+	if err := na.Send(4000, nil, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	// CPU must be busy for overhead + full copy.
+	want := des.Time(500 + 4032)
+	if a.CPU.BusyUntil() != want {
+		t.Fatalf("CPU busy until %d, want %d", a.CPU.BusyUntil(), want)
+	}
+	w.Run()
+}
+
+func TestDMASendFreesCPU(t *testing.T) {
+	w, a, b := hostPair(t, HostParams{}, testNIC())
+	na := a.NICs()[0]
+	var sentAt des.Time
+	b.NICs()[0].SetDeliver(func(any) {})
+	size := 100000 // > PIOMax: DMA
+	if err := na.Send(size, nil, func() { sentAt = w.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	// CPU only pays overhead + DMA setup.
+	wantCPU := des.Time(500 + 700)
+	if a.CPU.BusyUntil() != wantCPU {
+		t.Fatalf("CPU busy until %d, want %d", a.CPU.BusyUntil(), wantCPU)
+	}
+	w.Run()
+	// Send completes after the body crosses at NIC bandwidth.
+	wire := float64(size + 32)
+	wantSent := float64(wantCPU) + wire/1000e6*1e9
+	if diff := float64(sentAt) - wantSent; diff < -1000 || diff > 1000 {
+		t.Fatalf("sentAt = %d, want ~%.0f", sentAt, wantSent)
+	}
+	pio, dma := na.Stats()
+	if pio != 0 || dma != 1 {
+		t.Fatalf("stats pio=%d dma=%d, want 0,1", pio, dma)
+	}
+}
+
+func TestTwoPIOSendsSerializeOnCPU(t *testing.T) {
+	w, a, b := hostPair(t, HostParams{}, testNIC(), testNIC())
+	b.NICs()[0].SetDeliver(func(any) {})
+	b.NICs()[1].SetDeliver(func(any) {})
+	var s0, s1 des.Time
+	if err := a.NICs()[0].Send(4000, nil, func() { s0 = w.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.NICs()[1].Send(4000, nil, func() { s1 = w.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	per := des.Time(500 + 4032)
+	if s0 != per {
+		t.Fatalf("s0 = %d, want %d", s0, per)
+	}
+	if s1 != 2*per {
+		t.Fatalf("s1 = %d, want %d (PIO must serialize on a 1-lane CPU)", s1, 2*per)
+	}
+}
+
+func TestTwoPIOSendsOverlapWithTwoLanes(t *testing.T) {
+	hp := HostParams{PIOLanes: 2}
+	w, a, b := hostPair(t, hp, testNIC(), testNIC())
+	b.NICs()[0].SetDeliver(func(any) {})
+	b.NICs()[1].SetDeliver(func(any) {})
+	var s1 des.Time
+	_ = a.NICs()[0].Send(4000, nil, func() {})
+	_ = a.NICs()[1].Send(4000, nil, func() { s1 = w.Now() })
+	w.Run()
+	per := des.Time(500 + 4032)
+	if s1 != per {
+		t.Fatalf("s1 = %d, want %d (parallel PIO with 2 lanes)", s1, per)
+	}
+}
+
+func TestDMAContentionOnBus(t *testing.T) {
+	hp := HostParams{BusBandwidth: 1000e6}
+	nic := testNIC() // NIC bandwidth 1000 MB/s each, bus 1000 MB/s total
+	w, a, b := hostPair(t, hp, nic, nic)
+	b.NICs()[0].SetDeliver(func(any) {})
+	b.NICs()[1].SetDeliver(func(any) {})
+	size := 1000000
+	var s0 des.Time
+	_ = a.NICs()[0].Send(size, nil, func() { s0 = w.Now() })
+	_ = a.NICs()[1].Send(size, nil, func() {})
+	w.Run()
+	// Each flow gets half the bus: ~2x the standalone time.
+	standalone := float64(size+32) / 1000e6 * 1e9
+	if float64(s0) < 1.9*standalone {
+		t.Fatalf("s0 = %d, contention not applied (standalone %.0f)", s0, standalone)
+	}
+}
+
+func TestPollLoopChargesAllEnabledNICs(t *testing.T) {
+	w, a, b := hostPair(t, HostParams{}, testNIC(), testNIC())
+	_ = w
+	before := b.CPU.Now()
+	b.ChargePollLoop()
+	if got := b.CPU.Now() - before; got != 200 {
+		t.Fatalf("poll loop charged %d, want 200 (2 NICs x 100ns)", got)
+	}
+	// Downed NICs are not polled.
+	b.NICs()[1].SetDown(true)
+	before = b.CPU.Now()
+	b.ChargePollLoop()
+	if got := b.CPU.Now() - before; got != 100 {
+		t.Fatalf("poll loop charged %d, want 100 after down", got)
+	}
+	_ = a
+}
+
+func TestSendOnDownNIC(t *testing.T) {
+	w, a, b := hostPair(t, HostParams{}, testNIC())
+	_ = w
+	_ = b
+	na := a.NICs()[0]
+	na.SetDown(true)
+	if err := na.Send(10, nil, func() {}); err == nil {
+		t.Fatal("Send on down NIC succeeded")
+	}
+	if !na.Down() {
+		t.Fatal("Down() = false")
+	}
+}
+
+func TestSendUnconnectedNIC(t *testing.T) {
+	w := des.NewWorld()
+	h := NewHost(w, "A", HostParams{})
+	n := h.NewNIC(testNIC())
+	if err := n.Send(10, nil, func() {}); err == nil {
+		t.Fatal("Send on unconnected NIC succeeded")
+	}
+}
+
+func TestArrivalAtDownNICIsDropped(t *testing.T) {
+	w, a, b := hostPair(t, HostParams{}, testNIC())
+	delivered := false
+	b.NICs()[0].SetDeliver(func(any) { delivered = true })
+	if err := a.NICs()[0].Send(10, nil, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	b.NICs()[0].SetDown(true)
+	w.Run()
+	if delivered {
+		t.Fatal("packet delivered to down NIC")
+	}
+}
+
+func TestMemcpyCharge(t *testing.T) {
+	w := des.NewWorld()
+	h := NewHost(w, "A", HostParams{MemcpyBandwidth: 1000e6})
+	h.ChargeMemcpy(1000000) // 1 MB at 1000 MB/s = 1 ms
+	if got := h.CPU.BusyUntil(); got != des.Time(1e6) {
+		t.Fatalf("memcpy charged %d, want 1e6", got)
+	}
+	h.ChargeMemcpy(0)
+	if got := h.CPU.BusyUntil(); got != des.Time(1e6) {
+		t.Fatalf("zero memcpy charged extra: %d", got)
+	}
+}
+
+func TestHostClockInterface(t *testing.T) {
+	w := des.NewWorld()
+	h := NewHost(w, "A", HostParams{})
+	if h.Now() != 0 {
+		t.Fatalf("Now = %d", h.Now())
+	}
+	h.Charge(123)
+	if h.Now() != 123 {
+		t.Fatalf("Now after charge = %d, want 123", h.Now())
+	}
+}
+
+func TestPresetsSanity(t *testing.T) {
+	myri, quad, ge := Myri10G(), QsNetII(), GigE()
+	if myri.Bandwidth <= quad.Bandwidth {
+		t.Error("Myri-10G must out-bandwidth Quadrics")
+	}
+	if quad.WireLatency >= myri.WireLatency {
+		t.Error("Quadrics must have lower latency than Myri-10G")
+	}
+	if ge.Bandwidth >= quad.Bandwidth {
+		t.Error("GigE must be the slow rail")
+	}
+	for _, p := range []NICParams{myri, quad, ge} {
+		if p.PIOMax <= 0 || p.EagerMax < p.PIOMax || p.Bandwidth <= 0 {
+			t.Errorf("%s: inconsistent params %+v", p.Name, p)
+		}
+	}
+	host := Opteron()
+	if host.BusBandwidth <= quad.Bandwidth || host.BusBandwidth >= myri.Bandwidth+quad.Bandwidth {
+		t.Errorf("Opteron bus %v must sit between one rail and the sum", host.BusBandwidth)
+	}
+}
+
+func TestConnectIsSymmetric(t *testing.T) {
+	w, a, b := hostPair(t, HostParams{}, testNIC())
+	_ = w
+	if a.NICs()[0].Peer() != b.NICs()[0] || b.NICs()[0].Peer() != a.NICs()[0] {
+		t.Fatal("Connect did not wire both directions")
+	}
+}
+
+func TestIngressSerializesBursts(t *testing.T) {
+	// Two packets arriving together must be charged back to back on the
+	// receiver CPU.
+	w, a, b := hostPair(t, HostParams{}, testNIC())
+	var times []des.Time
+	b.NICs()[0].SetDeliver(func(any) { times = append(times, w.Now()) })
+	_ = a.NICs()[0].Send(0, nil, func() {})
+	_ = a.NICs()[0].Send(0, nil, func() {})
+	w.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d, want 2", len(times))
+	}
+	if times[1]-times[0] < 300 {
+		t.Fatalf("ingress gap %d, want >= per-packet cost", times[1]-times[0])
+	}
+}

@@ -1,0 +1,39 @@
+package strategy
+
+import "newmad/internal/core"
+
+// AggRail is the paper's second multi-rail strategy (§3.3, Figure 6):
+// small segments are aggregated as they accumulate and favoured onto the
+// fastest (lowest-latency) rail — Quadrics on the paper's platform —
+// while large segments are balanced greedily across all rails.
+type AggRail struct{}
+
+// NewAggRail returns the aggregate-on-fastest-rail strategy.
+func NewAggRail() *AggRail { return &AggRail{} }
+
+// Name implements core.Strategy.
+func (*AggRail) Name() string { return "aggrail" }
+
+// Submit implements core.Strategy.
+func (*AggRail) Submit(b *core.Backlog, u *core.Unit) { b.PushSeg(u) }
+
+// Schedule implements core.Strategy.
+func (*AggRail) Schedule(b *core.Backlog, r *core.Rail) *core.Packet {
+	if p := b.PopCtrl(); p != nil {
+		return p
+	}
+	if b.BodyCount() > 0 {
+		return b.ChunkFrom(b.Body(0), 0)
+	}
+	if r == fastest(b) {
+		if units := gatherSmalls(b); len(units) > 0 {
+			return b.MakeEager(units...)
+		}
+	}
+	if u := firstLarge(b); u != nil {
+		return sendSegment(b, r, u)
+	}
+	return nil
+}
+
+var _ core.Strategy = (*AggRail)(nil)

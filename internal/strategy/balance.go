@@ -1,0 +1,36 @@
+package strategy
+
+import "newmad/internal/core"
+
+// Balance is the paper's first multi-rail strategy (§3.2, Figures 4 and
+// 5): pure greedy balancing on the sender side. Each time a NIC becomes
+// idle, it is handed the first available segment, with no aggregation and
+// no splitting. Rendezvous bodies likewise go wholesale to whichever rail
+// asks first.
+type Balance struct{}
+
+// NewBalance returns the greedy balancing strategy.
+func NewBalance() *Balance { return &Balance{} }
+
+// Name implements core.Strategy.
+func (*Balance) Name() string { return "balance" }
+
+// Submit implements core.Strategy.
+func (*Balance) Submit(b *core.Backlog, u *core.Unit) { b.PushSeg(u) }
+
+// Schedule implements core.Strategy.
+func (*Balance) Schedule(b *core.Backlog, r *core.Rail) *core.Packet {
+	if p := b.PopCtrl(); p != nil {
+		return p
+	}
+	if b.BodyCount() > 0 {
+		return b.ChunkFrom(b.Body(0), 0)
+	}
+	u := b.PopSeg()
+	if u == nil {
+		return nil
+	}
+	return sendSegment(b, r, u)
+}
+
+var _ core.Strategy = (*Balance)(nil)

@@ -1,0 +1,40 @@
+package strategy
+
+import "newmad/internal/core"
+
+// FIFO is the reference strategy: every segment becomes its own packet,
+// in submission order, on a single pinned rail. It reproduces the
+// "regular messages" and "N-segments messages" single-network curves of
+// the paper's Figures 2–5.
+type FIFO struct {
+	rail int
+}
+
+// NewFIFO returns a FIFO strategy pinned to the given rail index.
+func NewFIFO(rail int) *FIFO { return &FIFO{rail: rail} }
+
+// Name implements core.Strategy.
+func (*FIFO) Name() string { return "fifo" }
+
+// Submit implements core.Strategy.
+func (*FIFO) Submit(b *core.Backlog, u *core.Unit) { b.PushSeg(u) }
+
+// Schedule implements core.Strategy.
+func (s *FIFO) Schedule(b *core.Backlog, r *core.Rail) *core.Packet {
+	if p := b.PopCtrl(); p != nil {
+		return p
+	}
+	if r.Index() != s.rail {
+		return nil
+	}
+	if b.BodyCount() > 0 {
+		return b.ChunkFrom(b.Body(0), 0)
+	}
+	u := b.PopSeg()
+	if u == nil {
+		return nil
+	}
+	return sendSegment(b, r, u)
+}
+
+var _ core.Strategy = (*FIFO)(nil)

@@ -1,0 +1,39 @@
+package strategy
+
+import (
+	"fmt"
+	"sort"
+
+	"newmad/internal/core"
+)
+
+// New builds a strategy by name, as used by the command-line tools:
+// "fifo", "aggreg" (both pinned to rail 0), "balance", "aggrail",
+// "split", "split-iso".
+func New(name string) (core.Strategy, error) {
+	switch name {
+	case "fifo":
+		return NewFIFO(0), nil
+	case "aggreg":
+		return NewAggreg(0), nil
+	case "balance":
+		return NewBalance(), nil
+	case "aggrail":
+		return NewAggRail(), nil
+	case "split":
+		return NewSplit(SplitRatio), nil
+	case "split-iso":
+		return NewSplit(SplitIso), nil
+	case "split-dyn":
+		return NewSplitDyn(), nil
+	default:
+		return nil, fmt.Errorf("strategy: unknown %q (have %v)", name, Names())
+	}
+}
+
+// Names lists the registered strategy names.
+func Names() []string {
+	names := []string{"fifo", "aggreg", "balance", "aggrail", "split", "split-iso", "split-dyn"}
+	sort.Strings(names)
+	return names
+}

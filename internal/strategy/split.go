@@ -1,0 +1,240 @@
+package strategy
+
+import (
+	"sort"
+
+	"newmad/internal/core"
+)
+
+// SplitMode selects how Split carves a rendezvous body across rails.
+type SplitMode int
+
+const (
+	// SplitRatio sizes each rail's chunk in proportion to its profiled
+	// bandwidth, so all chunks finish together (the paper's adaptive
+	// stripping, "hetero-splitted" in Figure 7).
+	SplitRatio SplitMode = iota
+	// SplitIso gives every rail an equal share ("iso-splitted" in
+	// Figure 7, the strawman the adaptive ratio is compared against).
+	SplitIso
+)
+
+// String implements fmt.Stringer.
+func (m SplitMode) String() string {
+	if m == SplitIso {
+		return "iso"
+	}
+	return "ratio"
+}
+
+// Split is the paper's final strategy (§3.4, Figure 7): aggregation of
+// small segments onto the fastest rail, greedy balancing, plus stripping
+// of large bodies into per-rail chunks. When a body is granted, it is
+// split once into pinned per-rail shares — proportional to sampled
+// bandwidth in SplitRatio mode, equal in SplitIso mode — each share at
+// least MinChunk so stripping never falls back into the PIO regime; a
+// rail too slow to deserve MinChunk gets nothing. Shares orphaned by rail
+// failure are re-served greedily by the surviving rails.
+type Split struct {
+	mode SplitMode
+	// rdvMin forces segments larger than this through the rendezvous
+	// path even when a rail could send them eagerly, so they become
+	// strippable. 0 means AggThreshold.
+	rdvMin int
+	plans  map[*core.Unit][]railShare
+}
+
+// railShare pins one byte range of a body to one rail.
+type railShare struct {
+	rail     int
+	from, to int
+	taken    bool
+}
+
+// NewSplit returns the stripping strategy in the given mode.
+func NewSplit(mode SplitMode) *Split {
+	return &Split{mode: mode, plans: make(map[*core.Unit][]railShare)}
+}
+
+// NewSplitRdvMin returns a stripping strategy with an explicit rendezvous
+// floor.
+func NewSplitRdvMin(mode SplitMode, rdvMin int) *Split {
+	s := NewSplit(mode)
+	s.rdvMin = rdvMin
+	return s
+}
+
+// Name implements core.Strategy.
+func (s *Split) Name() string {
+	if s.mode == SplitIso {
+		return "split-iso"
+	}
+	return "split"
+}
+
+// Submit implements core.Strategy.
+func (*Split) Submit(b *core.Backlog, u *core.Unit) { b.PushSeg(u) }
+
+// Schedule implements core.Strategy.
+func (s *Split) Schedule(b *core.Backlog, r *core.Rail) *core.Packet {
+	if p := b.PopCtrl(); p != nil {
+		return p
+	}
+	if p := s.scheduleBody(b, r); p != nil {
+		return p
+	}
+	if r == fastest(b) {
+		if units := gatherSmalls(b); len(units) > 0 {
+			return b.MakeEager(units...)
+		}
+	}
+	u := firstLarge(b)
+	if u == nil {
+		return nil
+	}
+	rdvMin := s.rdvMin
+	if rdvMin <= 0 {
+		rdvMin = b.AggThreshold()
+	}
+	if u.Len() > rdvMin {
+		return b.StartRdv(u)
+	}
+	return sendSegment(b, r, u)
+}
+
+// scheduleBody serves rail r its pinned share of the first granted body
+// that has one, or mops up orphaned ranges greedily.
+func (s *Split) scheduleBody(b *core.Backlog, r *core.Rail) *core.Packet {
+	for bi := 0; bi < b.BodyCount(); bi++ {
+		u := b.Body(bi)
+		plan, ok := s.plans[u]
+		if !ok {
+			plan = s.makePlan(b, u, r)
+			s.plans[u] = plan
+		}
+		open := 0
+		for j := range plan {
+			e := &plan[j]
+			if e.taken {
+				continue
+			}
+			if railDown(b, e.rail) {
+				// Orphaned share: leave its range in the spans for the
+				// greedy mop-up below.
+				e.taken = true
+				continue
+			}
+			if e.rail == r.Index() {
+				e.taken = true
+				if planDone(plan) {
+					delete(s.plans, u)
+				}
+				return b.ChunkSpan(u, e.from, e.to)
+			}
+			open++
+		}
+		if open > 0 {
+			continue // other rails still owe their shares of this body
+		}
+		delete(s.plans, u)
+		if from, to, ok := u.FirstSpan(); ok {
+			// Orphaned ranges after failures: greedy, MinChunk-bounded.
+			n := to - from
+			if n > 2*b.MinChunk() {
+				n = max(n/2, b.MinChunk())
+			}
+			return b.ChunkSpan(u, from, from+n)
+		}
+	}
+	return nil
+}
+
+func planDone(plan []railShare) bool {
+	for _, e := range plan {
+		if !e.taken {
+			return false
+		}
+	}
+	return true
+}
+
+func railDown(b *core.Backlog, idx int) bool {
+	rails := b.Rails()
+	return idx >= len(rails) || rails[idx].Down()
+}
+
+// makePlan splits a freshly granted body into pinned per-rail shares.
+// requester is the rail whose Schedule call triggered the plan; it is
+// guaranteed a share so the body can always start moving immediately.
+func (s *Split) makePlan(b *core.Backlog, u *core.Unit, requester *core.Rail) []railShare {
+	from, to, ok := u.FirstSpan()
+	if !ok {
+		return nil
+	}
+	rem := to - from
+	type cand struct {
+		rail int
+		w    float64
+	}
+	var cands []cand
+	var wSum float64
+	for _, rr := range b.Rails() {
+		if rr.Down() {
+			continue
+		}
+		w := 1.0
+		if s.mode == SplitRatio {
+			w = rr.Profile().Bandwidth
+			if w <= 0 {
+				w = 1.0
+			}
+		}
+		cands = append(cands, cand{rail: rr.Index(), w: w})
+		wSum += w
+	}
+	if len(cands) == 0 || rem <= 0 {
+		return []railShare{{rail: requester.Index(), from: from, to: to}}
+	}
+	// Every participating rail gets at least MinChunk, so a body only
+	// spreads over as many rails as MinChunk-sized shares fit; the
+	// highest-bandwidth rails are kept when it does not fit all.
+	if maxRails := rem / b.MinChunk(); maxRails < len(cands) {
+		if maxRails < 1 {
+			return []railShare{{rail: requester.Index(), from: from, to: to}}
+		}
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].w > cands[j].w })
+		cands = cands[:maxRails]
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].rail < cands[j].rail })
+		wSum = 0
+		for _, c := range cands {
+			wSum += c.w
+		}
+	}
+	// MinChunk floor for everyone, the rest split by weight.
+	extra := rem - len(cands)*b.MinChunk()
+	sizes := make([]int, len(cands))
+	assigned := 0
+	for i, c := range cands {
+		sizes[i] = b.MinChunk() + int(float64(extra)*c.w/wSum)
+		assigned += sizes[i]
+	}
+	// Rounding leftovers go to the largest share.
+	if rest := rem - assigned; rest != 0 {
+		big := 0
+		for i := range sizes {
+			if sizes[i] > sizes[big] {
+				big = i
+			}
+		}
+		sizes[big] += rest
+	}
+	plan := make([]railShare, 0, len(cands))
+	cursor := from
+	for i, c := range cands {
+		plan = append(plan, railShare{rail: c.rail, from: cursor, to: cursor + sizes[i]})
+		cursor += sizes[i]
+	}
+	return plan
+}
+
+var _ core.Strategy = (*Split)(nil)

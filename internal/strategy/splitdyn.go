@@ -1,0 +1,91 @@
+package strategy
+
+import "newmad/internal/core"
+
+// SplitDyn is an extension beyond the paper's §3.4 strategy: instead of
+// splitting a granted body once into pinned per-rail shares, every idle
+// rail repeatedly takes its bandwidth-proportional share of the bytes
+// *remaining*, floored at MinChunk. The split converges to the same
+// bandwidth ratios on an idle platform, but adapts when a rail is
+// delayed by competing traffic or fails mid-transfer: the other rails
+// simply keep stealing the remainder, no orphaned shares to mop up.
+//
+// The cost is more, smaller chunks (a geometric tail bounded by
+// MinChunk), so per-chunk overheads are paid a few extra times.
+type SplitDyn struct {
+	// rdvMin as in Split; 0 means AggThreshold.
+	rdvMin int
+}
+
+// NewSplitDyn returns the dynamic work-stealing stripping strategy.
+func NewSplitDyn() *SplitDyn { return &SplitDyn{} }
+
+// NewSplitDynRdvMin returns SplitDyn with an explicit rendezvous floor.
+func NewSplitDynRdvMin(rdvMin int) *SplitDyn { return &SplitDyn{rdvMin: rdvMin} }
+
+// Name implements core.Strategy.
+func (*SplitDyn) Name() string { return "split-dyn" }
+
+// Submit implements core.Strategy.
+func (*SplitDyn) Submit(b *core.Backlog, u *core.Unit) { b.PushSeg(u) }
+
+// Schedule implements core.Strategy.
+func (s *SplitDyn) Schedule(b *core.Backlog, r *core.Rail) *core.Packet {
+	if p := b.PopCtrl(); p != nil {
+		return p
+	}
+	if b.BodyCount() > 0 {
+		u := b.Body(0)
+		return b.ChunkFrom(u, s.take(b, r, u.Remaining()))
+	}
+	if r == fastest(b) {
+		if units := gatherSmalls(b); len(units) > 0 {
+			return b.MakeEager(units...)
+		}
+	}
+	u := firstLarge(b)
+	if u == nil {
+		return nil
+	}
+	rdvMin := s.rdvMin
+	if rdvMin <= 0 {
+		rdvMin = b.AggThreshold()
+	}
+	if u.Len() > rdvMin {
+		return b.StartRdv(u)
+	}
+	return sendSegment(b, r, u)
+}
+
+// take sizes rail r's next bite of a body with rem unscheduled bytes:
+// its bandwidth share among all up rails, floored at MinChunk, taking
+// everything when the tail would drop below MinChunk.
+func (s *SplitDyn) take(b *core.Backlog, r *core.Rail, rem int) int {
+	var wSum, wR float64
+	for _, rr := range b.Rails() {
+		if rr.Down() {
+			continue
+		}
+		w := rr.Profile().Bandwidth
+		if w <= 0 {
+			w = 1
+		}
+		wSum += w
+		if rr == r {
+			wR = w
+		}
+	}
+	if wSum <= 0 || wR <= 0 {
+		return rem
+	}
+	n := int(float64(rem) * wR / wSum)
+	if n < b.MinChunk() {
+		n = b.MinChunk()
+	}
+	if rem-n < b.MinChunk() {
+		n = rem
+	}
+	return n
+}
+
+var _ core.Strategy = (*SplitDyn)(nil)

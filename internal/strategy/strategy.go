@@ -1,0 +1,93 @@
+// Package strategy provides the optimizing schedulers studied in the
+// paper, in the order they were incrementally developed (§3.2–§3.4):
+//
+//	fifo     one packet per segment on a pinned rail (baseline)
+//	aggreg   opportunistic aggregation of small segments, pinned rail
+//	balance  greedy balancing: each idle NIC takes the next segment
+//	aggrail  aggregation of small messages onto the fastest rail,
+//	         greedy balancing of large ones
+//	split    aggrail plus adaptive stripping of large bodies across
+//	         idle rails in proportion to their sampled bandwidths
+//
+// All strategies serve pending control packets (rendezvous CTS) before
+// data, and keep rendezvous chunks above the PIO threshold.
+package strategy
+
+import (
+	"time"
+
+	"newmad/internal/core"
+)
+
+// small reports whether a unit is in the aggregation regime.
+func small(b *core.Backlog, u *core.Unit) bool { return u.Len() <= b.AggThreshold() }
+
+// fastest returns the up rail with the lowest latency (ties to the lower
+// index), or nil if every rail is down.
+func fastest(b *core.Backlog) *core.Rail {
+	var best *core.Rail
+	var bestLat time.Duration
+	for _, r := range b.Rails() {
+		if r.Down() {
+			continue
+		}
+		if best == nil || r.Profile().Latency < bestLat {
+			best = r
+			bestLat = r.Profile().Latency
+		}
+	}
+	return best
+}
+
+// gatherSmalls pops the first small segment and every further small
+// segment that fits with it in one aggregated packet of at most
+// AggThreshold payload bytes (record headers included). Large segments
+// are skipped over, not disturbed — the paper allows reordering. Returns
+// nil if no small segment is pending.
+func gatherSmalls(b *core.Backlog) []*core.Unit {
+	budget := b.AggThreshold()
+	var units []*core.Unit
+	total := 0
+	i := 0
+	for i < b.SegCount() {
+		u := b.Seg(i)
+		if !small(b, u) {
+			i++
+			continue
+		}
+		need := u.Len()
+		if len(units) > 0 {
+			// Aggregating at all means every record pays a header.
+			need += core.HeaderLen
+			if len(units) == 1 {
+				need += core.HeaderLen
+			}
+		}
+		if len(units) > 0 && total+need > budget {
+			break
+		}
+		units = append(units, b.TakeSeg(i))
+		total += need
+	}
+	return units
+}
+
+// firstLarge pops the first segment bigger than the aggregation
+// threshold, or nil.
+func firstLarge(b *core.Backlog) *core.Unit {
+	for i := 0; i < b.SegCount(); i++ {
+		if !small(b, b.Seg(i)) {
+			return b.TakeSeg(i)
+		}
+	}
+	return nil
+}
+
+// sendSegment turns one popped segment into an eager packet or starts a
+// rendezvous, depending on the rail's eager limit.
+func sendSegment(b *core.Backlog, r *core.Rail, u *core.Unit) *core.Packet {
+	if core.EagerOK(u, r) {
+		return b.MakeEager(u)
+	}
+	return b.StartRdv(u)
+}

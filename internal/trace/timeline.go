@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"newmad/internal/core"
+)
+
+// Timeline renders per-rail occupancy lanes from collected events: one
+// row per rail, time left to right, a letter at each packet post (D=data
+// or aggregate, R=RTS, C=CTS, K=chunk) and '=' while the rail is busy.
+// It makes scheduling decisions visible at a glance: aggregation shows
+// as lone D's on the fast rail, stripping as simultaneous K-runs on all
+// rails.
+func Timeline(evs []core.TraceEvent, width int) string {
+	if width < 16 {
+		width = 72
+	}
+	type span struct {
+		rail     int
+		from, to int64
+		kind     core.Kind
+	}
+	var spans []span
+	open := map[int]*span{}
+	rails := map[int]bool{}
+	var tMin, tMax int64 = 1<<62 - 1, 0
+	for _, ev := range evs {
+		switch ev.Ev {
+		case "post":
+			s := &span{rail: ev.Rail, from: ev.Now, to: -1, kind: ev.Kind}
+			open[ev.Rail] = s
+			rails[ev.Rail] = true
+			if ev.Now < tMin {
+				tMin = ev.Now
+			}
+		case "sent", "fail":
+			if s := open[ev.Rail]; s != nil {
+				s.to = ev.Now
+				spans = append(spans, *s)
+				delete(open, ev.Rail)
+				if ev.Now > tMax {
+					tMax = ev.Now
+				}
+			}
+		}
+	}
+	for _, s := range open { // still in flight at the end
+		s.to = tMax
+		spans = append(spans, *s)
+	}
+	if len(spans) == 0 || tMax <= tMin {
+		return "(no posts recorded)\n"
+	}
+	ids := make([]int, 0, len(rails))
+	for r := range rails {
+		ids = append(ids, r)
+	}
+	sort.Ints(ids)
+	cell := func(t int64) int {
+		c := int(float64(t-tMin) / float64(tMax-tMin) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "time: %d ns .. %d ns\n", tMin, tMax)
+	for _, rail := range ids {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, s := range spans {
+			if s.rail != rail {
+				continue
+			}
+			from, to := cell(s.from), cell(s.to)
+			for c := from; c <= to; c++ {
+				row[c] = '='
+			}
+			row[from] = kindMark(s.kind)
+		}
+		fmt.Fprintf(&sb, "rail%-2d |%s|\n", rail, row)
+	}
+	return sb.String()
+}
+
+func kindMark(k core.Kind) byte {
+	switch k {
+	case core.KData:
+		return 'D'
+	case core.KRTS:
+		return 'R'
+	case core.KCTS:
+		return 'C'
+	case core.KChunk:
+		return 'K'
+	default:
+		return '?'
+	}
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"newmad/internal/core"
+)
+
+func ev(kind core.Kind, rail, n, agg int) core.TraceEvent {
+	return core.TraceEvent{Ev: "post", Kind: kind, Rail: rail, Len: n, Agg: agg}
+}
+
+func TestCollectorAccumulates(t *testing.T) {
+	c := New(0)
+	hook := c.Hook()
+	hook(ev(core.KData, 0, 100, 0))
+	hook(ev(core.KChunk, 1, 2000, 0))
+	if got := len(c.Events()); got != 2 {
+		t.Fatalf("events = %d", got)
+	}
+}
+
+func TestCollectorRingBound(t *testing.T) {
+	c := New(3)
+	hook := c.Hook()
+	for i := 0; i < 10; i++ {
+		hook(core.TraceEvent{Ev: "post", Len: i})
+	}
+	evs := c.Events()
+	if len(evs) != 3 {
+		t.Fatalf("kept %d, want 3", len(evs))
+	}
+	if evs[2].Len != 9 || evs[0].Len != 7 {
+		t.Fatalf("ring kept wrong events: %+v", evs)
+	}
+}
+
+func TestCountAndPosted(t *testing.T) {
+	c := New(0)
+	hook := c.Hook()
+	hook(ev(core.KData, 0, 10, 0))
+	hook(ev(core.KData, 1, 10, 0))
+	hook(ev(core.KRTS, 0, 0, 0))
+	hook(core.TraceEvent{Ev: "sent", Kind: core.KData, Rail: 0})
+	if c.Count(nil) != 4 {
+		t.Fatalf("Count(nil) = %d", c.Count(nil))
+	}
+	if c.Posted(core.KData, -1) != 2 {
+		t.Fatalf("Posted any = %d", c.Posted(core.KData, -1))
+	}
+	if c.Posted(core.KData, 1) != 1 {
+		t.Fatalf("Posted rail1 = %d", c.Posted(core.KData, 1))
+	}
+	if c.Posted(core.KRTS, 0) != 1 {
+		t.Fatal("RTS not counted")
+	}
+}
+
+func TestBytesOnRail(t *testing.T) {
+	c := New(0)
+	hook := c.Hook()
+	hook(ev(core.KData, 0, 100, 0))
+	hook(ev(core.KChunk, 0, 900, 0))
+	hook(ev(core.KData, 1, 50, 0))
+	if c.BytesOnRail(0) != 1000 {
+		t.Fatalf("rail0 bytes = %d", c.BytesOnRail(0))
+	}
+	if c.BytesOnRail(1) != 50 {
+		t.Fatalf("rail1 bytes = %d", c.BytesOnRail(1))
+	}
+}
+
+func TestMaxAgg(t *testing.T) {
+	c := New(0)
+	hook := c.Hook()
+	hook(ev(core.KData, 0, 10, 3))
+	hook(ev(core.KData, 0, 10, 7))
+	hook(ev(core.KData, 0, 10, 2))
+	if c.MaxAgg() != 7 {
+		t.Fatalf("MaxAgg = %d", c.MaxAgg())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(0)
+	c.Hook()(ev(core.KData, 0, 1, 0))
+	c.Reset()
+	if len(c.Events()) != 0 {
+		t.Fatal("Reset left events")
+	}
+}
+
+func TestDump(t *testing.T) {
+	c := New(0)
+	c.Hook()(core.TraceEvent{Now: 123, Ev: "post", Gate: "B", Rail: 1, Kind: core.KData, Len: 42, Tag: 5, Msg: 2})
+	var sb strings.Builder
+	c.Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{"post", "gate=B", "rail=1", "len=42", "tag=5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump %q missing %q", out, want)
+		}
+	}
+}
+
+func TestTimelineRendersLanes(t *testing.T) {
+	evs := []core.TraceEvent{
+		{Now: 0, Ev: "post", Rail: 0, Kind: core.KRTS},
+		{Now: 100, Ev: "sent", Rail: 0},
+		{Now: 200, Ev: "post", Rail: 0, Kind: core.KChunk, Len: 1000},
+		{Now: 200, Ev: "post", Rail: 1, Kind: core.KChunk, Len: 800},
+		{Now: 900, Ev: "sent", Rail: 0},
+		{Now: 1000, Ev: "sent", Rail: 1},
+	}
+	out := Timeline(evs, 40)
+	if !strings.Contains(out, "rail0 ") || !strings.Contains(out, "rail1 ") {
+		t.Fatalf("missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "R") || !strings.Contains(out, "K") {
+		t.Fatalf("missing kind marks:\n%s", out)
+	}
+	if !strings.Contains(out, "==") {
+		t.Fatalf("missing busy bars:\n%s", out)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	if out := Timeline(nil, 40); !strings.Contains(out, "no posts") {
+		t.Fatalf("empty timeline: %q", out)
+	}
+}
+
+func TestTimelineUnterminatedSpan(t *testing.T) {
+	evs := []core.TraceEvent{
+		{Now: 0, Ev: "post", Rail: 0, Kind: core.KData},
+		{Now: 50, Ev: "sent", Rail: 0},
+		{Now: 60, Ev: "post", Rail: 0, Kind: core.KData}, // never completes
+	}
+	out := Timeline(evs, 40)
+	if !strings.Contains(out, "D") {
+		t.Fatalf("in-flight span dropped:\n%s", out)
+	}
+}

@@ -1,0 +1,219 @@
+// Package newmad is a Go reproduction of the NewMadeleine communication
+// library's multi-rail engine (Aumage, Brunet, Mercier, Namyst — "High-
+// Performance Multi-Rail Support with the NewMadeleine Communication
+// Library", HCW/IPDPS 2007).
+//
+// The engine collects application segments, accumulates them in a
+// backlog while NICs are busy, and consults a pluggable optimization
+// strategy each time a rail goes idle. Strategies aggregate small
+// segments, balance segments across heterogeneous rails, and strip large
+// messages into bandwidth-proportional chunks.
+//
+// A minimal exchange over two simulated rails:
+//
+//	pair := newmad.NewSimPair(newmad.SimPairConfig{
+//		NICs:     []newmad.NICParams{newmad.Myri10G(), newmad.QsNetII()},
+//		Strategy: newmad.StrategySplit,
+//	})
+//	... see examples/quickstart
+//
+// Real deployments replace the simulated rails with TCP rails (DialTCP /
+// AcceptTCP) and drive progress with Engine.Poll / Engine.Wait.
+package newmad
+
+import (
+	"net"
+
+	"newmad/internal/bench"
+	"newmad/internal/core"
+	"newmad/internal/des"
+	"newmad/internal/drivers/tcpdrv"
+	"newmad/internal/mpl"
+	"newmad/internal/sampling"
+	"newmad/internal/session"
+	"newmad/internal/simnet"
+	"newmad/internal/strategy"
+	"newmad/internal/trace"
+)
+
+// Core engine types.
+type (
+	// Engine is one node's communication library instance.
+	Engine = core.Engine
+	// Config parameterizes an Engine.
+	Config = core.Config
+	// Gate is a connection to one peer with its rails and backlog.
+	Gate = core.Gate
+	// Rail is one network path of a gate.
+	Rail = core.Rail
+	// Packer builds a message segment by segment.
+	Packer = core.Packer
+	// SendReq tracks an outgoing message.
+	SendReq = core.SendReq
+	// RecvReq tracks an incoming message.
+	RecvReq = core.RecvReq
+	// Request is the common request interface.
+	Request = core.Request
+	// Strategy is a pluggable optimizing scheduler.
+	Strategy = core.Strategy
+	// Backlog is the per-gate pending-work pool strategies rewrite.
+	Backlog = core.Backlog
+	// Unit is one schedulable segment or rendezvous body.
+	Unit = core.Unit
+	// Driver is the transmit-layer interface.
+	Driver = core.Driver
+	// Profile describes a rail's performance characteristics.
+	Profile = core.Profile
+	// Packet is one transmit-layer unit.
+	Packet = core.Packet
+	// Header is the logical packet header.
+	Header = core.Header
+	// Clock abstracts time and CPU cost accounting.
+	Clock = core.Clock
+	// TraceEvent is one engine diagnostic event.
+	TraceEvent = core.TraceEvent
+)
+
+// New creates an engine.
+func New(cfg Config) *Engine { return core.New(cfg) }
+
+// Strategies, in the order the paper develops them.
+
+// StrategyFIFO returns the baseline strategy: one packet per segment on
+// rail 0.
+func StrategyFIFO() Strategy { return strategy.NewFIFO(0) }
+
+// StrategyAggreg returns opportunistic aggregation on rail 0.
+func StrategyAggreg() Strategy { return strategy.NewAggreg(0) }
+
+// StrategyBalance returns greedy multi-rail balancing (paper §3.2).
+func StrategyBalance() Strategy { return strategy.NewBalance() }
+
+// StrategyAggRail returns aggregation onto the fastest rail plus greedy
+// balancing of large segments (paper §3.3).
+func StrategyAggRail() Strategy { return strategy.NewAggRail() }
+
+// StrategySplit returns the paper's final strategy (§3.4): aggregation on
+// the fastest rail plus adaptive bandwidth-ratio stripping of large
+// messages.
+func StrategySplit() Strategy { return strategy.NewSplit(strategy.SplitRatio) }
+
+// StrategySplitIso returns the equal-shares stripping variant used as the
+// Figure 7 comparison point.
+func StrategySplitIso() Strategy { return strategy.NewSplit(strategy.SplitIso) }
+
+// StrategySplitDyn returns the dynamic work-stealing stripping extension:
+// idle rails repeatedly take their bandwidth share of the remaining body
+// rather than committing to a one-shot plan, adapting to competing
+// traffic and failures (not in the paper; see DESIGN.md §5).
+func StrategySplitDyn() Strategy { return strategy.NewSplitDyn() }
+
+// StrategyByName builds a strategy from its registry name ("fifo",
+// "aggreg", "balance", "aggrail", "split", "split-iso").
+func StrategyByName(name string) (Strategy, error) { return strategy.New(name) }
+
+// Simulated platform (the paper's testbed substitute).
+type (
+	// NICParams describes a simulated NIC model.
+	NICParams = simnet.NICParams
+	// HostParams describes a simulated host.
+	HostParams = simnet.HostParams
+	// SimPair is a two-node simulated platform with engines on both
+	// sides.
+	SimPair = bench.Pair
+	// SimPairConfig configures a SimPair.
+	SimPairConfig = bench.PairConfig
+	// World is the discrete-event simulation kernel.
+	World = des.World
+	// Proc is a simulated process.
+	Proc = des.Proc
+)
+
+// Myri10G returns the paper's Myri-10G/MX NIC model (~2.8 us, ~1200 MB/s).
+func Myri10G() NICParams { return simnet.Myri10G() }
+
+// QsNetII returns the paper's Quadrics QM500/Elan NIC model (~1.7 us,
+// ~850 MB/s).
+func QsNetII() NICParams { return simnet.QsNetII() }
+
+// GigE returns a commodity gigabit NIC model for extension experiments.
+func GigE() NICParams { return simnet.GigE() }
+
+// Opteron returns the paper's host model (shared I/O bus, single PIO
+// lane).
+func Opteron() HostParams { return simnet.Opteron() }
+
+// NewSimPair builds a two-node simulated platform.
+func NewSimPair(cfg SimPairConfig) *SimPair { return bench.NewPair(cfg) }
+
+// SimCluster is an N-node fully connected simulated platform.
+type SimCluster = bench.Cluster
+
+// SimClusterConfig configures a SimCluster.
+type SimClusterConfig = bench.ClusterConfig
+
+// NewSimCluster builds an N-node simulated platform with an mpl
+// communicator per rank (Cluster.Comm / Cluster.SpawnRanks).
+func NewSimCluster(cfg SimClusterConfig) *SimCluster { return bench.NewCluster(cfg) }
+
+// Comm is a ranked communicator over the engine (internal/mpl): blocking
+// point-to-point operations plus Barrier, Bcast and AllSumInt64.
+type Comm = mpl.Comm
+
+// WaitSim parks a simulated process until the requests complete.
+func WaitSim(p *Proc, reqs ...Request) { bench.WaitReqs(p, reqs...) }
+
+// Sessions: negotiated multi-rail TCP bring-up between two processes.
+
+// RailSpec declares one rail a session server offers.
+type RailSpec = session.RailSpec
+
+// SessionServer accepts negotiated multi-rail sessions.
+type SessionServer = session.Server
+
+// ListenSession starts a session server: a control listener plus one
+// listener per offered rail. Accept() returns a ready multi-rail gate.
+func ListenSession(eng *Engine, name, ctrlAddr string, rails []RailSpec) (*SessionServer, error) {
+	return session.Listen(eng, name, ctrlAddr, rails)
+}
+
+// ConnectSession dials a session server and brings up every offered
+// rail, returning the gate and the server's name.
+func ConnectSession(eng *Engine, name, ctrlAddr string) (*Gate, string, error) {
+	return session.Connect(eng, name, ctrlAddr)
+}
+
+// TCP rails (real sockets).
+
+// TCPOptions configures a TCP rail.
+type TCPOptions = tcpdrv.Options
+
+// DialTCP connects a TCP rail to addr.
+func DialTCP(addr string, opts TCPOptions) (Driver, error) { return tcpdrv.Dial(addr, opts) }
+
+// AcceptTCP accepts one TCP rail on l.
+func AcceptTCP(l net.Listener, opts TCPOptions) (Driver, error) { return tcpdrv.Accept(l, opts) }
+
+// Tracing.
+
+// TraceCollector accumulates engine trace events for diagnostics.
+type TraceCollector = trace.Collector
+
+// NewTraceCollector returns a collector keeping at most max events
+// (0 = unbounded); install its Hook as Config.Trace.
+func NewTraceCollector(max int) *TraceCollector { return trace.New(max) }
+
+// TraceTimeline renders per-rail occupancy lanes from collected events:
+// packet posts marked by kind (D/R/C/K), '=' while the rail is busy.
+func TraceTimeline(events []TraceEvent, width int) string { return trace.Timeline(events, width) }
+
+// Sampling.
+
+// SampleRatios derives stripping ratios from per-rail bandwidths.
+func SampleRatios(bandwidths []float64) []float64 { return sampling.Ratios(bandwidths) }
+
+// SaveProfiles persists sampled rail profiles as JSON.
+func SaveProfiles(path string, profiles []Profile) error { return sampling.Save(path, profiles) }
+
+// LoadProfiles reads rail profiles persisted by SaveProfiles.
+func LoadProfiles(path string) ([]Profile, error) { return sampling.Load(path) }

@@ -1,0 +1,153 @@
+package newmad_test
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"newmad"
+)
+
+func TestPublicAPISimExchange(t *testing.T) {
+	pair := newmad.NewSimPair(newmad.SimPairConfig{
+		NICs:     []newmad.NICParams{newmad.Myri10G(), newmad.QsNetII()},
+		Strategy: newmad.StrategySplit,
+		Sample:   true,
+	})
+	msg := make([]byte, 1<<20)
+	for i := range msg {
+		msg[i] = byte(i * 3)
+	}
+	recv := make([]byte, len(msg))
+	pair.W.Spawn("rx", func(p *newmad.Proc) {
+		rr := pair.GateBA.Irecv(1, recv)
+		newmad.WaitSim(p, rr)
+	})
+	pair.W.Spawn("tx", func(p *newmad.Proc) {
+		sr := pair.GateAB.Isend(1, msg)
+		newmad.WaitSim(p, sr)
+	})
+	pair.W.Run()
+	if !bytes.Equal(recv, msg) {
+		t.Fatal("payload mismatch through public API")
+	}
+	// The split strategy must have used both rails for a 1 MB body.
+	p0, b0 := pair.GateAB.Rails()[0].Stats()
+	p1, b1 := pair.GateAB.Rails()[1].Stats()
+	if p0 == 0 || p1 == 0 || b0 == 0 || b1 == 0 {
+		t.Fatalf("stripping unused: rail0 %d/%d rail1 %d/%d", p0, b0, p1, b1)
+	}
+}
+
+func TestStrategyConstructors(t *testing.T) {
+	for _, s := range []newmad.Strategy{
+		newmad.StrategyFIFO(), newmad.StrategyAggreg(), newmad.StrategyBalance(),
+		newmad.StrategyAggRail(), newmad.StrategySplit(), newmad.StrategySplitIso(),
+	} {
+		if s.Name() == "" {
+			t.Error("unnamed strategy")
+		}
+	}
+	for _, name := range []string{"fifo", "aggreg", "balance", "aggrail", "split", "split-iso"} {
+		s, err := newmad.StrategyByName(name)
+		if err != nil || s.Name() != name {
+			t.Errorf("StrategyByName(%q): %v", name, err)
+		}
+	}
+	if _, err := newmad.StrategyByName("nope"); err == nil {
+		t.Error("bad name accepted")
+	}
+}
+
+func TestSampleRatios(t *testing.T) {
+	r := newmad.SampleRatios([]float64{3e9, 1e9})
+	if r[0] != 0.75 || r[1] != 0.25 {
+		t.Fatalf("ratios %v", r)
+	}
+}
+
+func TestProfilesPersistence(t *testing.T) {
+	path := t.TempDir() + "/p.json"
+	in := []newmad.Profile{{Name: "x", Bandwidth: 5e8, EagerMax: 1024}}
+	if err := newmad.SaveProfiles(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := newmad.LoadProfiles(path)
+	if err != nil || len(out) != 1 || out[0] != in[0] {
+		t.Fatalf("round trip: %v %v", out, err)
+	}
+}
+
+func TestPublicAPITCP(t *testing.T) {
+	engA := newmad.New(newmad.Config{Strategy: newmad.StrategyBalance()})
+	engB := newmad.New(newmad.Config{Strategy: newmad.StrategyBalance()})
+	defer engA.Close()
+	defer engB.Close()
+	gateAB := engA.NewGate("B")
+	gateBA := engB.NewGate("A")
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	acc := make(chan newmad.Driver, 1)
+	errc := make(chan error, 1)
+	go func() {
+		d, err := newmad.AcceptTCP(l, newmad.TCPOptions{})
+		if err != nil {
+			errc <- err
+			return
+		}
+		acc <- d
+	}()
+	dialer, err := newmad.DialTCP(l.Addr().String(), newmad.TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gateAB.AddRail(dialer)
+	select {
+	case d := <-acc:
+		gateBA.AddRail(d)
+	case err := <-errc:
+		t.Fatal(err)
+	}
+
+	msg := []byte("real sockets through the facade")
+	recv := make([]byte, len(msg))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rr := gateBA.Irecv(1, recv)
+		if err := engB.Wait(rr); err != nil {
+			t.Error(err)
+		}
+	}()
+	sr := gateAB.Isend(1, msg)
+	if err := engA.Wait(sr); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if !bytes.Equal(recv, msg) {
+		t.Fatal("payload mismatch over TCP facade")
+	}
+}
+
+func TestTraceCollectorFacade(t *testing.T) {
+	col := newmad.NewTraceCollector(10)
+	pair := newmad.NewSimPair(newmad.SimPairConfig{
+		NICs:     []newmad.NICParams{newmad.QsNetII()},
+		Strategy: newmad.StrategyFIFO,
+		TraceA:   col.Hook(),
+	})
+	recv := make([]byte, 4)
+	pair.W.Spawn("rx", func(p *newmad.Proc) {
+		newmad.WaitSim(p, pair.GateBA.Irecv(1, recv))
+	})
+	pair.W.Spawn("tx", func(p *newmad.Proc) {
+		newmad.WaitSim(p, pair.GateAB.Isend(1, []byte{1, 2, 3, 4}))
+	})
+	pair.W.Run()
+	if len(col.Events()) == 0 {
+		t.Fatal("no trace events collected")
+	}
+}
