@@ -43,7 +43,9 @@ func (u *Unit) String() string {
 //
 // Strategies access the backlog through its methods; the queues preserve
 // submission order but strategies are free to pop out of order (the paper
-// explicitly allows reordering and out-of-order sending).
+// explicitly allows reordering and out-of-order sending). All backlog
+// access happens owning the gate's progress domain, so no internal
+// locking is needed even though gates progress concurrently.
 type Backlog struct {
 	gate   *Gate
 	ctrl   []*Packet // ready control packets (RTS is built lazily, CTS here)

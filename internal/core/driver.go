@@ -23,8 +23,11 @@ type Profile struct {
 }
 
 // Events is the engine-side callback interface a driver reports into.
-// Drivers must invoke these serially (the simulation kernel and the
-// engine's Poll loop both guarantee that).
+// Each rail's Events value routes into the owning gate's progress domain
+// (see internal/progress): callbacks may be invoked from any goroutine,
+// including synchronously from within Send, and the engine serializes
+// them per gate. Callbacks never block; when the gate's domain is busy
+// the event is deferred to the current owner.
 type Events interface {
 	// SendComplete reports that the packet posted on rail is fully sent
 	// and the rail's send track is idle again.
@@ -34,6 +37,11 @@ type Events interface {
 	SendFailed(rail int, p *Packet, err error)
 	// Arrive delivers an incoming packet on rail.
 	Arrive(rail int, p *Packet)
+	// RailDown reports an asynchronous rail failure detected outside a
+	// posted send — typically the receive side of the connection dying.
+	// The engine marks the rail down, recovers what it safely can, and
+	// fails the gate's outstanding requests once no rails remain.
+	RailDown(rail int, err error)
 }
 
 // Driver is the transmit-layer interface: one point-to-point rail to a
@@ -49,11 +57,18 @@ type Driver interface {
 	Bind(rail int, ev Events)
 	// Send posts one packet. The payload must not be modified until
 	// SendComplete. An error means the packet was not accepted (rail
-	// down) and no completion will follow.
+	// down) and no completion will follow. Send may invoke Events
+	// callbacks synchronously before returning.
 	Send(p *Packet) error
-	// Poll makes progress and may invoke Events callbacks. Real drivers
-	// drain completion and arrival queues here; simulated drivers are
-	// event-driven and treat Poll as a no-op.
+	// NeedsPoll reports whether the driver requires Poll calls to make
+	// progress. Rails whose driver returns true join the engine's
+	// active-rail poll set; event-driven drivers (in-memory, simulated)
+	// return false and are never polled.
+	NeedsPoll() bool
+	// Poll makes progress and may invoke Events callbacks. Only called
+	// for drivers whose NeedsPoll reports true; it may be invoked
+	// concurrently from several waiting goroutines, so drivers must
+	// serialize their own delivery.
 	Poll()
 	// Close releases driver resources.
 	Close() error

@@ -6,6 +6,15 @@
 // are taken when a NIC becomes idle, not when the application calls the
 // API: requests accumulate in a backlog while rails are busy, giving the
 // strategy an optimization window.
+//
+// Concurrency model: every gate is an independent progress domain
+// (internal/progress). Application calls and driver events for a gate run
+// mutually excluded within its domain, while different gates of the same
+// engine progress in parallel — the engine itself holds only a small
+// registry lock for gate creation and the active-rail poll set. Waiting
+// is event-driven: requests expose a completion channel, and Engine.Wait
+// blocks on it; only rails whose driver actually needs pumping
+// (Driver.NeedsPoll) are ever polled, and only by waiters.
 package core
 
 import (
@@ -13,12 +22,16 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Config parameterizes an Engine.
 type Config struct {
-	// Strategy is the optimizing scheduler (required).
+	// Strategy is the optimizing scheduler (required). One instance is
+	// shared by every gate of the engine; gates schedule concurrently,
+	// so stateful strategies must be safe for concurrent use (see
+	// Strategy).
 	Strategy Strategy
 	// Clock provides time and CPU cost accounting; defaults to the wall
 	// clock.
@@ -32,7 +45,8 @@ type Config struct {
 	// chunks on the DMA path.
 	MinChunk int
 	// Trace, when set, receives engine events (sends, arrivals,
-	// completions). Must be fast; called under the engine lock.
+	// completions). Must be fast and safe for concurrent calls; invoked
+	// while owning the event's gate progress domain.
 	Trace func(TraceEvent)
 }
 
@@ -49,17 +63,37 @@ type TraceEvent struct {
 	Msg  uint64
 }
 
-// Engine is one node's communication library instance.
+// Engine is one node's communication library instance. It owns only
+// registry state (the gate list and the active-rail poll set); all
+// per-peer scheduling state lives in the gates' progress domains.
 type Engine struct {
-	mu    sync.Mutex
 	cfg   Config
 	clock Clock
 	strat Strategy
+
+	mu    sync.Mutex // registry: gates, polled (writers)
 	gates []*Gate
+	// polled is the active-rail poll set: rails whose driver needs
+	// pumping (Driver.NeedsPoll). Copy-on-write; readers load the
+	// pointer without taking the registry lock. Rails leave the set
+	// when they fail or the engine closes.
+	polled atomic.Pointer[[]*Rail]
+	// pollGen is closed and replaced whenever the poll set grows, so a
+	// Wait parked on a completion channel (because the set was empty)
+	// re-evaluates and starts pumping a late-added pollable rail.
+	pollGen chan struct{}
 }
 
 // ErrRailDown reports a send attempted on a failed rail.
 var ErrRailDown = errors.New("core: rail down")
+
+// ErrEngineClosed reports a request outstanding (or submitted) after
+// Engine.Close.
+var ErrEngineClosed = errors.New("core: engine closed")
+
+// ErrMsgAborted reports a receive whose sender gave the message up after
+// a rail failed with its packets' delivery status unknown.
+var ErrMsgAborted = errors.New("core: message aborted by sender after rail failure")
 
 // New creates an engine. It panics if cfg.Strategy is nil.
 func New(cfg Config) *Engine {
@@ -75,7 +109,7 @@ func New(cfg Config) *Engine {
 	if cfg.MinChunk <= 0 {
 		cfg.MinChunk = 16 << 10
 	}
-	return &Engine{cfg: cfg, clock: cfg.Clock, strat: cfg.Strategy}
+	return &Engine{cfg: cfg, clock: cfg.Clock, strat: cfg.Strategy, pollGen: make(chan struct{})}
 }
 
 // Clock returns the engine clock.
@@ -86,10 +120,10 @@ func (e *Engine) Strategy() Strategy { return e.strat }
 
 // NewGate creates a gate toward the named peer.
 func (e *Engine) NewGate(name string) *Gate {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	g := newGate(e, name)
+	e.mu.Lock()
 	e.gates = append(e.gates, g)
+	e.mu.Unlock()
 	return g
 }
 
@@ -100,35 +134,133 @@ func (e *Engine) Gates() []*Gate {
 	return append([]*Gate(nil), e.gates...)
 }
 
-// Poll makes progress on every driver. Real-time programs call this (or
-// Wait, which calls it) to pump completions and arrivals; simulated
-// drivers are event-driven and need no polling.
-func (e *Engine) Poll() {
+// addPolled registers a rail in the active poll set (copy-on-write) and
+// wakes waiters parked while the set was empty.
+func (e *Engine) addPolled(r *Rail) {
 	e.mu.Lock()
-	gates := append([]*Gate(nil), e.gates...)
-	e.mu.Unlock()
-	for _, g := range gates {
-		for _, r := range g.rails {
-			r.drv.Poll()
+	defer e.mu.Unlock()
+	var next []*Rail
+	if cur := e.polled.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, r)
+	e.polled.Store(&next)
+	close(e.pollGen)
+	e.pollGen = make(chan struct{})
+}
+
+// removePolled drops a dead rail from the active poll set.
+func (e *Engine) removePolled(r *Rail) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.polled.Load()
+	if cur == nil {
+		return
+	}
+	next := make([]*Rail, 0, len(*cur))
+	for _, pr := range *cur {
+		if pr != r {
+			next = append(next, pr)
 		}
+	}
+	if len(next) == len(*cur) {
+		return
+	}
+	e.polled.Store(&next)
+}
+
+// retireRail takes a failed rail out of service: it leaves the active
+// poll set and its driver is drained and closed (asynchronously — driver
+// Close may wait on I/O goroutines). The drains matter: frames parsed
+// before the failure would otherwise sit undelivered forever now that no
+// waiter polls the rail. Closing matters beyond hygiene: a TCP rail that
+// failed on the receive side would otherwise keep accepting writes, so
+// the peer would never observe the failure and never run its own
+// recovery; and its reader would keep buffering frames unboundedly.
+func (e *Engine) retireRail(r *Rail) {
+	e.removePolled(r)
+	go func(d Driver) {
+		d.Poll() // deliver events queued before the failure
+		_ = d.Close()
+		d.Poll() // deliver events the close itself flushed out
+	}(r.drv)
+}
+
+// polledRails returns the active poll set (never mutated in place).
+func (e *Engine) polledRails() []*Rail {
+	if cur := e.polled.Load(); cur != nil {
+		return *cur
+	}
+	return nil
+}
+
+// pollGenCh returns the channel closed at the next poll-set growth.
+func (e *Engine) pollGenCh() <-chan struct{} {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pollGen
+}
+
+// Poll pumps every rail in the active poll set — the rails whose driver
+// needs explicit progress calls (real sockets). Event-driven rails
+// (simulated, in-memory) are never polled: their completions and
+// arrivals are delivered into the gate's progress domain as they happen.
+// With nothing to pump, Poll yields the processor so legacy poll loops
+// cannot starve delivering goroutines.
+func (e *Engine) Poll() {
+	rails := e.polledRails()
+	if len(rails) == 0 {
+		runtime.Gosched()
+		return
+	}
+	for _, r := range rails {
+		r.drv.Poll()
 	}
 }
 
-// Wait polls until the request completes and returns its error. Only for
-// real-time (non-simulated) engines; simulation benchmarks wait on
-// virtual-time signals instead. The loop spins for the latency-critical
-// window, then backs off to short sleeps so long rendezvous on shared
-// CPUs don't starve the peer process.
+// Wait blocks until the request completes and returns its error. On an
+// engine whose rails are all event-driven, Wait parks on the request's
+// completion channel and is woken by the completing event — no polling
+// happens at all. When pollable rails exist (TCP), Wait pumps the active
+// poll set: it spins for the latency-critical window, then backs off to
+// short sleeps so long rendezvous on shared CPUs don't starve the peer
+// process.
 func (e *Engine) Wait(req Request) error {
-	for spins := 0; !req.Done(); spins++ {
-		e.Poll()
+	done := req.Completion()
+	for spins := 0; ; spins++ {
+		select {
+		case <-done:
+			return req.Err()
+		default:
+		}
+		rails := e.polledRails()
+		if len(rails) == 0 {
+			// Capture the generation, then re-read the set: a rail
+			// added between the two closes this generation, so the
+			// select below wakes instead of missing it. The generation
+			// fetch takes the registry lock, so it is kept off the
+			// non-empty (pumping) path.
+			gen := e.pollGenCh()
+			if rails = e.polledRails(); len(rails) == 0 {
+				// Park on the completion channel — but re-evaluate if
+				// a pollable rail joins the engine while we sleep.
+				select {
+				case <-done:
+					return req.Err()
+				case <-gen:
+					continue
+				}
+			}
+		}
+		for _, r := range rails {
+			r.drv.Poll()
+		}
 		if spins < 2000 {
 			runtime.Gosched()
 		} else {
 			time.Sleep(20 * time.Microsecond)
 		}
 	}
-	return req.Err()
 }
 
 // WaitAll waits for several requests.
@@ -142,18 +274,36 @@ func (e *Engine) WaitAll(reqs ...Request) error {
 	return first
 }
 
-// Close closes every driver of every gate.
+// Close closes every driver of every gate, fails each gate's
+// outstanding requests (so blocked waiters wake with ErrEngineClosed
+// instead of parking forever on rails nobody will pump again), and
+// empties the poll set.
 func (e *Engine) Close() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	var first error
-	for _, g := range e.gates {
+	for _, g := range e.Gates() {
+		rails := g.Rails()
+		g.dom.Lock()
 		for _, r := range g.rails {
+			r.down.Store(true)
+			r.retiring = false
+		}
+		g.dom.Unlock()
+		for _, r := range rails {
 			if err := r.drv.Close(); err != nil && first == nil {
 				first = err
 			}
+			// Close flushed the driver's I/O goroutines; drain their
+			// final events so requests that really finished complete
+			// truthfully before failGate force-fails the rest.
+			r.drv.Poll()
 		}
+		g.dom.Lock()
+		e.failGate(g, ErrEngineClosed)
+		g.dom.Unlock()
 	}
+	e.mu.Lock()
+	e.polled.Store(&[]*Rail{})
+	e.mu.Unlock()
 	return first
 }
 
@@ -168,13 +318,13 @@ func (e *Engine) trace(ev string, g *Gate, rail int, h Header, n int) {
 }
 
 // kick offers every idle rail to the strategy until it declines. Called
-// with the engine lock held, after anything that may create work or free
-// a rail: this is the global scheduler reacting to NIC activity.
+// owning the gate's domain, after anything that may create work or free
+// a rail: this is the per-gate scheduler reacting to NIC activity.
 func (e *Engine) kick(g *Gate) {
 	for {
 		progress := false
 		for _, r := range g.rails {
-			if r.busy || r.down {
+			if r.busy.Load() || r.down.Load() {
 				continue
 			}
 			p := e.strat.Schedule(g.backlog, r)
@@ -191,6 +341,8 @@ func (e *Engine) kick(g *Gate) {
 }
 
 // post hands a packet to a rail's driver and updates request accounting.
+// The driver may deliver events synchronously from Send; they are
+// deferred by the domain and handled once the current owner releases.
 func (e *Engine) post(r *Rail, p *Packet) {
 	for _, ref := range p.senders {
 		if ref.req != nil {
@@ -198,10 +350,10 @@ func (e *Engine) post(r *Rail, p *Packet) {
 			ref.req.pendingPkts++
 		}
 	}
-	r.busy = true
+	r.busy.Store(true)
 	r.current = p
-	r.pktsSent++
-	r.bytesSent += uint64(len(p.Payload))
+	r.pktsSent.Add(1)
+	r.bytesSent.Add(uint64(len(p.Payload)))
 	r.gate.stats.BytesSent += uint64(len(p.Payload))
 	if p.Hdr.Agg > 1 {
 		r.gate.stats.AggPackets++
@@ -218,14 +370,17 @@ func (e *Engine) post(r *Rail, p *Packet) {
 
 // sendComplete is the driver callback for a finished send.
 func (e *Engine) sendComplete(r *Rail) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	p := r.current
 	if p == nil {
+		if r.down.Load() {
+			// Late completion on a rail already failed (the in-flight
+			// packet was handled by railFailure).
+			return
+		}
 		panic(fmt.Sprintf("core: SendComplete on idle %v", r))
 	}
 	r.current = nil
-	r.busy = false
+	r.busy.Store(false)
 	e.trace("sent", r.gate, r.index, p.Hdr, len(p.Payload))
 	if p.Hdr.Kind == KChunk {
 		if u := r.gate.rdvSend[p.Hdr.RdvID]; u != nil {
@@ -242,40 +397,237 @@ func (e *Engine) sendComplete(r *Rail) {
 			ref.req.maybeComplete()
 		}
 	}
+	if r.down.Load() {
+		// The rail was MarkDown'd with this packet in flight; now that
+		// it drained, finish retiring the rail.
+		r.retiring = false
+		e.retireRail(r)
+		if r.gate.upRails() == 0 {
+			e.failGate(r.gate, ErrRailDown)
+			return
+		}
+	}
 	e.kick(r.gate)
 }
 
 // sendFailed is the driver callback for a failed posted send.
 func (e *Engine) sendFailed(r *Rail, p *Packet, err error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.failRail(r, p, err)
 }
 
-// failRail marks the rail down and requeues the failed packet's work onto
-// the surviving rails. Rendezvous chunks are returned to their body;
-// eager payloads are resubmitted as segments. Lock held.
+// failRail marks the rail down after a send that certainly did not reach
+// the peer and requeues the failed packet's work onto the surviving
+// rails. Rendezvous chunks are returned to their body; eager payloads are
+// resubmitted as segments. Caller owns the gate's domain.
 func (e *Engine) failRail(r *Rail, p *Packet, err error) {
+	if r.current != p {
+		// The rail already failed through another path (e.g. corrupt
+		// inbound traffic) and its in-flight packet was handled there.
+		return
+	}
 	g := r.gate
-	r.down = true
-	r.busy = false
+	r.down.Store(true)
+	r.busy.Store(false)
 	r.current = nil
+	e.retireRail(r)
 	e.trace("fail", g, r.index, p.Hdr, len(p.Payload))
 	for _, ref := range p.senders {
 		if ref.req != nil {
 			ref.req.pendingPkts--
-		}
-	}
-	if g.UpRails() == 0 {
-		for _, ref := range p.senders {
-			if ref.req != nil {
-				ref.req.complete(fmt.Errorf("core: all rails down: %w", err))
+			if ref.req.failErr != nil {
+				// Already doomed by an earlier failure; this may have
+				// been its last in-flight packet.
+				ref.req.maybeComplete()
 			}
 		}
+	}
+	if g.upRails() == 0 {
+		err = fmt.Errorf("core: all rails down: %w", err)
+		for _, ref := range p.senders {
+			if ref.req != nil {
+				ref.req.complete(err)
+			}
+		}
+		e.failGate(g, err)
 		return
 	}
 	e.requeue(g, p)
 	e.kick(g)
+}
+
+// railFailure handles a rail dying outside a posted send: corrupt inbound
+// traffic or an asynchronous RailDown report from the driver. Unlike
+// failRail, the delivery status of any in-flight packet is unknown — the
+// send side may have succeeded — so requeueing could duplicate data at
+// the peer; the in-flight requests fail instead. Caller owns the gate's
+// domain.
+func (e *Engine) railFailure(r *Rail, err error) {
+	g := r.gate
+	if r.down.Load() && r.current == nil {
+		// The failure itself was already handled, but the gate-death
+		// accounting may still be owed (e.g. the rail was MarkDown'd
+		// while others were alive and the last of those died since).
+		if g.upRails() == 0 {
+			e.failGate(g, fmt.Errorf("core: all rails down: %w", err))
+		}
+		return
+	}
+	r.down.Store(true)
+	r.busy.Store(false)
+	e.retireRail(r)
+	p := r.current
+	r.current = nil
+	if p != nil {
+		e.trace("fail", g, r.index, p.Hdr, len(p.Payload))
+		inErr := fmt.Errorf("core: rail failed with packet in flight: %w", err)
+		for _, ref := range p.senders {
+			if ref.req != nil {
+				ref.req.pendingPkts--
+				e.failSend(g, ref.req, inErr)
+			}
+		}
+	} else {
+		e.trace("fail", g, r.index, Header{}, 0)
+	}
+	if g.upRails() == 0 {
+		e.failGate(g, fmt.Errorf("core: all rails down: %w", err))
+		return
+	}
+	e.kick(g)
+}
+
+// failGate fails every outstanding request on a gate whose last rail
+// died: queued sends, granted bodies, pending rendezvous and posted
+// receives all complete with err so waiters wake instead of hanging on a
+// peer that can no longer be reached. The gate is marked dead, so later
+// submissions fail immediately. Idempotent; caller owns the gate's
+// domain.
+func (e *Engine) failGate(g *Gate, err error) {
+	if g.dead == nil {
+		g.dead = err
+	}
+	// Packets still in flight on rails whose failure event never came
+	// (engine close, administratively downed rails) would otherwise
+	// leave their requests uncompleted forever. Retire those rails here
+	// too: their late SendComplete will find current == nil and return
+	// without running the usual drain-time retirement.
+	for _, r := range g.rails {
+		p := r.current
+		if p == nil {
+			continue
+		}
+		if r.retiring {
+			// The rail's driver is healthy and still transmitting this
+			// packet (administrative MarkDown): completing now would
+			// hand the buffers back mid-write. Doom the requests; the
+			// rail's own SendComplete finishes them.
+			for _, ref := range p.senders {
+				if ref.req != nil && ref.req.failErr == nil {
+					ref.req.failErr = err
+				}
+			}
+			continue
+		}
+		r.current = nil
+		r.busy.Store(false)
+		e.retireRail(r)
+		for _, ref := range p.senders {
+			if ref.req != nil {
+				ref.req.pendingPkts--
+				ref.req.complete(err)
+			}
+		}
+	}
+	b := g.backlog
+	for _, u := range b.segs {
+		if u.Req != nil {
+			u.Req.complete(err)
+		}
+	}
+	b.segs = nil
+	disc, _ := e.strat.(Discarder)
+	for _, u := range b.bodies {
+		if disc != nil {
+			disc.Discard(b, u)
+		}
+		if u.Req != nil {
+			u.Req.complete(err)
+		}
+	}
+	b.bodies = nil
+	b.ctrl = nil
+	for id, u := range g.rdvSend {
+		if u.Req != nil {
+			u.Req.complete(err)
+		}
+		delete(g.rdvSend, id)
+	}
+	for id := range g.rdvRecv {
+		delete(g.rdvRecv, id)
+	}
+	for tag, q := range g.posted {
+		for _, req := range q {
+			req.complete(err)
+		}
+		delete(g.posted, tag)
+	}
+	// g.unexpected is deliberately kept: data fully delivered before the
+	// rails died is still claimable by a later Irecv (a peer may send
+	// its final messages and disconnect). The arrive guard on dead
+	// gates stops the buffer growing after this point.
+}
+
+// failSend dooms an outgoing request after a rail failure: its queued
+// units are purged, the peer is told (once) to abandon the message, and
+// the request completes with the error as soon as no packets of it
+// remain in flight — a driver on a surviving rail may still be reading
+// the buffers, so completing earlier would hand them back to the
+// application mid-transmit. Caller owns the gate's domain.
+func (e *Engine) failSend(g *Gate, req *SendReq, err error) {
+	if req.failErr == nil {
+		req.failErr = err
+		e.purgeRequest(g, req)
+		// The peer may hold partial data for this message and would
+		// otherwise wait forever for the rest; the caller's kick
+		// flushes this on the surviving rails.
+		g.backlog.PushCtrl(&Packet{Hdr: Header{Kind: KAbort, Tag: req.tag, MsgID: req.msg}})
+	}
+	req.maybeComplete()
+}
+
+// purgeRequest removes every queued unit of req from the backlog and the
+// pending-rendezvous table, so a request about to complete with an error
+// can never have its (then reusable) buffers scheduled later. Caller
+// owns the gate's domain.
+func (e *Engine) purgeRequest(g *Gate, req *SendReq) {
+	b := g.backlog
+	disc, _ := e.strat.(Discarder)
+	keepSegs := b.segs[:0]
+	for _, u := range b.segs {
+		if u.Req != req {
+			keepSegs = append(keepSegs, u)
+		}
+	}
+	b.segs = keepSegs
+	keepBodies := b.bodies[:0]
+	for _, u := range b.bodies {
+		if u.Req != req {
+			keepBodies = append(keepBodies, u)
+			continue
+		}
+		if disc != nil {
+			disc.Discard(b, u)
+		}
+	}
+	b.bodies = keepBodies
+	for id, u := range g.rdvSend {
+		if u.Req == req {
+			// A CTS for this rendezvous may legitimately still arrive;
+			// the KCTS arm recognizes ids <= nextRdv as stale and drops
+			// them.
+			delete(g.rdvSend, id)
+		}
+	}
 }
 
 // requeue returns a failed packet's contents to the backlog.
@@ -302,77 +654,119 @@ func (e *Engine) requeue(g *Gate, p *Packet) {
 			e.strat.Submit(g.backlog, &Unit{Req: u.Req, Hdr: h, Data: u.Data})
 		}
 	case KData:
-		for _, u := range unpackData(p) {
+		units, err := unpackData(p)
+		for _, u := range units {
+			if u.Req != nil && u.Req.failErr != nil {
+				continue // doomed request: don't resubmit its buffers
+			}
 			e.strat.Submit(g.backlog, u)
 			if u.Req != nil {
 				u.Req.queuedBytes += len(u.Data)
 			}
 		}
-	case KCTS:
+		if err != nil {
+			// Records beyond the corruption point cannot be recovered;
+			// fail their requests rather than dropping them silently.
+			err = fmt.Errorf("core: aggregate unrecoverable after rail failure: %w", err)
+			for i := len(units); i < len(p.senders); i++ {
+				if req := p.senders[i].req; req != nil {
+					e.failSend(g, req, err)
+				}
+			}
+		}
+	case KCTS, KAbort:
 		g.backlog.PushCtrl(p)
 	}
 }
 
 // unpackData reconstructs units from a (possibly aggregated) data packet.
-func unpackData(p *Packet) []*Unit {
+// A non-nil error reports a corrupt aggregate record; the returned units
+// are the records decoded before the corruption point.
+func unpackData(p *Packet) ([]*Unit, error) {
 	if p.Hdr.Agg == 0 {
 		req := (*SendReq)(nil)
 		if len(p.senders) == 1 {
 			req = p.senders[0].req
 		}
-		return []*Unit{{Req: req, Hdr: p.Hdr, Data: p.Payload}}
+		return []*Unit{{Req: req, Hdr: p.Hdr, Data: p.Payload}}, nil
 	}
 	var units []*Unit
 	buf := p.Payload
 	for i := 0; i < int(p.Hdr.Agg); i++ {
 		h, err := DecodeHeader(buf)
 		if err != nil {
-			break
+			return units, fmt.Errorf("corrupt aggregate record %d: %w", i, err)
 		}
-		data := buf[HeaderLen : HeaderLen+int(h.PayLen)]
-		buf = buf[HeaderLen+int(h.PayLen):]
+		// uint64 arithmetic: immune to 32-bit int wraparound.
+		if uint64(HeaderLen)+uint64(h.PayLen) > uint64(len(buf)) {
+			return units, fmt.Errorf("aggregate record %d overruns packet (%d+%d > %d)", i, HeaderLen, h.PayLen, len(buf))
+		}
+		end := HeaderLen + int(h.PayLen)
+		data := buf[HeaderLen:end]
+		buf = buf[end:]
 		var req *SendReq
 		if i < len(p.senders) {
 			req = p.senders[i].req
 		}
 		units = append(units, &Unit{Req: req, Hdr: h, Data: data})
 	}
-	return units
+	return units, nil
 }
 
-// arrive is the driver callback for an incoming packet.
+// arrive is the driver callback for an incoming packet. Corrupt wire
+// input — undecodable aggregates, unknown rendezvous ids, out-of-range
+// offsets, unknown kinds — fails the rail instead of panicking: a
+// malformed peer must not crash the process.
 func (e *Engine) arrive(r *Rail, p *Packet) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	g := r.gate
+	if g.dead != nil {
+		// Events drained after the gate died (deferred in the domain
+		// inbox, or queued in a driver) must not repopulate state that
+		// failGate just released.
+		return
+	}
 	e.trace("arrive", g, r.index, p.Hdr, len(p.Payload))
 	switch p.Hdr.Kind {
 	case KData:
-		if p.Hdr.Agg == 0 {
-			e.arriveData(g, p.Hdr, p.Payload)
-		} else {
-			buf := p.Payload
-			for i := 0; i < int(p.Hdr.Agg); i++ {
-				h, err := DecodeHeader(buf)
-				if err != nil {
-					panic(fmt.Sprintf("core: corrupt aggregate record %d: %v", i, err))
-				}
-				e.arriveData(g, h, buf[HeaderLen:HeaderLen+int(h.PayLen)])
-				buf = buf[HeaderLen+int(h.PayLen):]
-			}
+		// unpackData is the one place aggregate framing is decoded (with
+		// its overflow-safe bounds checks); records before a corruption
+		// point are still delivered, then the rail fails.
+		units, err := unpackData(p)
+		for _, u := range units {
+			e.arriveData(g, u.Hdr, u.Data)
+		}
+		if err != nil {
+			e.railFailure(r, fmt.Errorf("core: %w", err))
+			return
 		}
 	case KRTS:
+		if p.Hdr.RdvID > g.maxRdvSeen {
+			g.maxRdvSeen = p.Hdr.RdvID
+		}
 		if req := g.findPosted(p.Hdr.Tag, p.Hdr.MsgID); req != nil {
 			e.acceptRdv(g, req, p.Hdr)
 			e.kick(g)
 		} else {
+			if p.Hdr.MsgID < g.recvMsgID[p.Hdr.Tag] {
+				// The message was already claimed by a (since completed
+				// or aborted) receive; a straggler RTS must not park in
+				// the unexpected buffer forever.
+				return
+			}
 			em := g.early(p.Hdr.Tag, p.Hdr.MsgID)
 			em.rts = append(em.rts, p.Hdr)
 		}
 	case KCTS:
 		u := g.rdvSend[p.Hdr.RdvID]
 		if u == nil {
-			panic(fmt.Sprintf("core: CTS for unknown rdv %d", p.Hdr.RdvID))
+			if p.Hdr.RdvID <= g.nextRdv {
+				// A rendezvous this gate really started: the entry is
+				// gone because the request was aborted by a rail
+				// failure — a late CTS is legitimate traffic, drop it.
+				return
+			}
+			e.railFailure(r, fmt.Errorf("core: CTS for unknown rdv %d", p.Hdr.RdvID))
+			return
 		}
 		e.trace("rdv-grant", g, r.index, p.Hdr, int(u.Hdr.SegLen))
 		g.backlog.Grant(u)
@@ -380,7 +774,23 @@ func (e *Engine) arrive(r *Rail, p *Packet) {
 	case KChunk:
 		sink := g.rdvRecv[p.Hdr.RdvID]
 		if sink == nil {
-			panic(fmt.Sprintf("core: chunk for unknown rdv %d", p.Hdr.RdvID))
+			if p.Hdr.RdvID <= g.maxRdvSeen {
+				// A rendezvous some RTS really announced: the sink is
+				// gone because the message was aborted — straggler
+				// chunks from surviving rails are legitimate, drop them.
+				return
+			}
+			e.railFailure(r, fmt.Errorf("core: chunk for unknown rdv %d", p.Hdr.RdvID))
+			return
+		}
+		// Overflow-safe range check: each term is validated against the
+		// remaining capacity before it is subtracted, so wire values
+		// near 2^64 cannot wrap the sum past the guard.
+		capacity := uint64(sink.req.capacity)
+		if sink.base > capacity || p.Hdr.Off > capacity-sink.base ||
+			uint64(len(p.Payload)) > capacity-sink.base-p.Hdr.Off {
+			e.railFailure(r, fmt.Errorf("core: chunk at %d+%d overruns receive capacity %d", sink.base, p.Hdr.Off, sink.req.capacity))
+			return
 		}
 		sink.req.writeAt(sink.base+p.Hdr.Off, p.Payload)
 		sink.got += uint64(len(p.Payload))
@@ -391,8 +801,26 @@ func (e *Engine) arrive(r *Rail, p *Packet) {
 			// completes; see sendComplete accounting.
 		}
 		e.finishRecv(g, sink.req)
+	case KAbort:
+		// The sender gave up on message (Tag, MsgID) after a rail died
+		// with delivery unknown: fail the matching receive (now or when
+		// it is posted) instead of letting it wait forever.
+		if req := g.findPosted(p.Hdr.Tag, p.Hdr.MsgID); req != nil {
+			e.failRecv(g, req, ErrMsgAborted)
+			return
+		}
+		if p.Hdr.MsgID < g.recvMsgID[p.Hdr.Tag] {
+			// The message was already claimed by a receive (which may
+			// even have completed — delivery-unknown aborts can chase
+			// fully delivered data). Nothing to mark.
+			return
+		}
+		em := g.early(p.Hdr.Tag, p.Hdr.MsgID)
+		em.aborted = true
+		em.data = nil
+		em.rts = nil
 	default:
-		panic(fmt.Sprintf("core: arrive: bad kind %v", p.Hdr.Kind))
+		e.railFailure(r, fmt.Errorf("core: arrive: bad kind %v", p.Hdr.Kind))
 	}
 }
 
@@ -403,6 +831,12 @@ func (e *Engine) arriveData(g *Gate, h Header, payload []byte) {
 		e.placeData(g, req, h, payload)
 		return
 	}
+	if h.MsgID < g.recvMsgID[h.Tag] {
+		// The message was already claimed by a receive that has since
+		// completed (or was aborted): buffering this straggler segment
+		// would leak it forever, since no future receive can match it.
+		return
+	}
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
 	e.clock.Memcpy(len(cp))
@@ -410,12 +844,23 @@ func (e *Engine) arriveData(g *Gate, h Header, payload []byte) {
 	em.data = append(em.data, &Packet{Hdr: h, Payload: cp})
 }
 
-// placeData copies an eager segment into the receive buffers.
+// placeData copies an eager segment into the receive buffers. Out-of-
+// range lengths and offsets complete the receive with an error (like the
+// capacity check) rather than corrupting memory or panicking.
 func (e *Engine) placeData(g *Gate, req *RecvReq, h Header, payload []byte) {
+	// Compare as uint64: a wire MsgLen with the top bit set must hit
+	// this error, not wrap negative through int and sneak past.
+	if h.MsgLen > uint64(req.capacity) {
+		e.failRecv(g, req, fmt.Errorf("core: message %d bytes exceeds receive capacity %d", h.MsgLen, req.capacity))
+		return
+	}
 	req.msgLen = int64(h.MsgLen)
-	if int(h.MsgLen) > req.capacity {
-		req.complete(fmt.Errorf("core: message %d bytes exceeds receive capacity %d", h.MsgLen, req.capacity))
-		g.dropPosted(req)
+	// Overflow-safe: validate each wire offset against the remaining
+	// capacity before subtracting, so values near 2^64 cannot wrap.
+	capacity := uint64(req.capacity)
+	if h.MsgOff > capacity || h.Off > capacity-h.MsgOff ||
+		uint64(len(payload)) > capacity-h.MsgOff-h.Off {
+		e.failRecv(g, req, fmt.Errorf("core: segment at offset %d+%d overruns receive capacity %d", h.MsgOff, h.Off, req.capacity))
 		return
 	}
 	req.writeAt(h.MsgOff+h.Off, payload)
@@ -425,17 +870,30 @@ func (e *Engine) placeData(g *Gate, req *RecvReq, h Header, payload []byte) {
 
 // acceptRdv registers a rendezvous destination and queues the CTS reply.
 func (e *Engine) acceptRdv(g *Gate, req *RecvReq, h Header) {
-	req.msgLen = int64(h.MsgLen)
-	if int(h.MsgLen) > req.capacity {
-		req.complete(fmt.Errorf("core: message %d bytes exceeds receive capacity %d", h.MsgLen, req.capacity))
-		g.dropPosted(req)
+	if h.MsgLen > uint64(req.capacity) {
+		e.failRecv(g, req, fmt.Errorf("core: message %d bytes exceeds receive capacity %d", h.MsgLen, req.capacity))
 		return
 	}
+	req.msgLen = int64(h.MsgLen)
 	g.rdvRecv[h.RdvID] = &rdvSink{req: req, base: h.MsgOff, need: h.SegLen}
 	cts := h
 	cts.Kind = KCTS
 	cts.PayLen = 0
 	g.backlog.PushCtrl(&Packet{Hdr: cts})
+}
+
+// failRecv error-completes a receive, tearing down any rendezvous sinks
+// pointing at it first — once the request completes the application may
+// reclaim the buffers, so no later chunk may find a sink into them.
+// Caller owns the gate's domain.
+func (e *Engine) failRecv(g *Gate, req *RecvReq, err error) {
+	for id, sink := range g.rdvRecv {
+		if sink.req == req {
+			delete(g.rdvRecv, id)
+		}
+	}
+	g.dropPosted(req)
+	req.complete(err)
 }
 
 // finishRecv completes a receive once all bytes are in.

@@ -2,17 +2,30 @@ package core
 
 import (
 	"fmt"
+
+	"newmad/internal/progress"
 )
 
 // Gate is a connection to one peer: the set of rails reaching it plus the
 // per-peer scheduling and matching state. The optimization strategy works
 // on the whole communication flow of the gate, regardless of tags — the
 // paper's "whole communication flow between pairs of machines".
+//
+// Each gate is its own progress domain: every send, arrival, completion
+// and scheduling decision for the gate runs owning dom, so traffic on
+// different gates of the same engine never contends. The paper's
+// defining per-gate semantics — backlog accumulation and kick-on-idle —
+// therefore stay atomic per gate while gates progress in parallel.
 type Gate struct {
 	eng     *Engine
+	dom     *progress.Domain
 	name    string
 	rails   []*Rail
 	backlog *Backlog
+	// dead is set by failGate when the last rail dies: outstanding
+	// requests were failed with it, and new submissions fail
+	// immediately instead of queueing work nothing can ever drain.
+	dead error
 
 	// send side
 	sendMsgID map[uint32]uint64
@@ -24,6 +37,11 @@ type Gate struct {
 	posted     map[uint32][]*RecvReq
 	unexpected map[msgKey]*earlyMsg
 	rdvRecv    map[uint64]*rdvSink
+	// maxRdvSeen is the highest rendezvous id any RTS announced. It
+	// separates legitimate stragglers (chunks of a rendezvous torn down
+	// by an abort: id <= maxRdvSeen, dropped) from corruption (an id
+	// never announced: rail failure).
+	maxRdvSeen uint64
 
 	stats GateStats
 }
@@ -37,6 +55,9 @@ type msgKey struct {
 type earlyMsg struct {
 	data []*Packet // copied KData records
 	rts  []Header
+	// aborted records a sender-side KAbort that arrived before the
+	// receive was posted: the matching Irecv fails immediately.
+	aborted bool
 }
 
 // rdvSink maps an accepted rendezvous onto its receive request.
@@ -50,6 +71,7 @@ type rdvSink struct {
 func newGate(eng *Engine, name string) *Gate {
 	g := &Gate{
 		eng:        eng,
+		dom:        progress.NewDomain(),
 		name:       name,
 		sendMsgID:  make(map[uint32]uint64),
 		rdvSend:    make(map[uint64]*Unit),
@@ -68,27 +90,45 @@ func (g *Gate) Name() string { return g.name }
 // Engine returns the owning engine.
 func (g *Gate) Engine() *Engine { return g.eng }
 
-// Rails returns the gate's rails in AddRail order.
-func (g *Gate) Rails() []*Rail { return g.rails }
+// Rails returns a snapshot of the gate's rails in AddRail order.
+func (g *Gate) Rails() []*Rail {
+	g.dom.Lock()
+	defer g.dom.Unlock()
+	return append([]*Rail(nil), g.rails...)
+}
 
 // Backlog exposes the gate's backlog (mainly for tests and tooling).
 func (g *Gate) Backlog() *Backlog { return g.backlog }
 
-// AddRail attaches a driver as the gate's next rail and returns it.
+// AddRail attaches a driver as the gate's next rail and returns it. Rails
+// whose driver needs pumping (NeedsPoll) join the engine's active-rail
+// poll set; event-driven rails never will.
 func (g *Gate) AddRail(drv Driver) *Rail {
-	g.eng.mu.Lock()
-	defer g.eng.mu.Unlock()
-	r := &Rail{gate: g, index: len(g.rails), drv: drv, profile: drv.Profile()}
+	g.dom.Lock()
+	r := &Rail{gate: g, index: len(g.rails), drv: drv}
+	prof := drv.Profile()
+	r.profile.Store(&prof)
 	g.rails = append(g.rails, r)
 	drv.Bind(r.index, railEvents{r})
+	g.dom.Unlock()
+	if drv.NeedsPoll() {
+		g.eng.addPolled(r)
+	}
 	return r
 }
 
 // UpRails returns the number of usable rails.
 func (g *Gate) UpRails() int {
+	g.dom.Lock()
+	defer g.dom.Unlock()
+	return g.upRails()
+}
+
+// upRails counts usable rails; caller owns the gate's domain.
+func (g *Gate) upRails() int {
 	n := 0
 	for _, r := range g.rails {
-		if !r.down {
+		if !r.down.Load() {
 			n++
 		}
 	}
@@ -106,8 +146,13 @@ func (g *Gate) Isend(tag uint32, data []byte) *SendReq {
 // becomes an independently schedulable unit, so strategies may aggregate,
 // reorder, balance or split them (paper §2).
 func (g *Gate) Isendv(tag uint32, segs [][]byte) *SendReq {
-	g.eng.mu.Lock()
-	defer g.eng.mu.Unlock()
+	g.dom.Lock()
+	defer g.dom.Unlock()
+	if g.dead != nil {
+		req := &SendReq{gate: g, tag: tag}
+		req.complete(g.dead)
+		return req
+	}
 	if len(segs) == 0 {
 		segs = [][]byte{nil}
 	}
@@ -162,8 +207,8 @@ func (g *Gate) Irecv(tag uint32, buf []byte) *RecvReq {
 // construction (NewMadeleine's unpack interface). The combined capacity
 // must cover the whole message.
 func (g *Gate) Irecvv(tag uint32, bufs [][]byte) *RecvReq {
-	g.eng.mu.Lock()
-	defer g.eng.mu.Unlock()
+	g.dom.Lock()
+	defer g.dom.Unlock()
 	msg := g.recvMsgID[tag]
 	g.recvMsgID[tag] = msg + 1
 	capacity := 0
@@ -174,13 +219,34 @@ func (g *Gate) Irecvv(tag uint32, bufs [][]byte) *RecvReq {
 	g.posted[tag] = append(g.posted[tag], req)
 	if em, ok := g.unexpected[msgKey{tag, msg}]; ok {
 		delete(g.unexpected, msgKey{tag, msg})
+		if em.aborted {
+			g.dropPosted(req)
+			req.complete(ErrMsgAborted)
+			return req
+		}
+		// A buffered record can error-complete the request (capacity or
+		// offset violations); replaying further records into a completed
+		// request would register rendezvous sinks against buffers the
+		// application has already reclaimed.
 		for _, p := range em.data {
+			if req.Done() {
+				return req
+			}
 			g.eng.placeData(g, req, p.Hdr, p.Payload)
 		}
 		for _, h := range em.rts {
+			if req.Done() {
+				return req
+			}
 			g.eng.acceptRdv(g, req, h)
 		}
 		g.eng.kick(g)
+	}
+	// On a dead gate a receive can still be satisfied by data that
+	// arrived before the rails died (replayed from the unexpected
+	// buffer above); anything not completed by now never will be.
+	if g.dead != nil && !req.Done() {
+		g.eng.failRecv(g, req, g.dead)
 	}
 	return req
 }
@@ -286,15 +352,15 @@ type GateStats struct {
 
 // Stats returns a snapshot of the gate's counters.
 func (g *Gate) Stats() GateStats {
-	g.eng.mu.Lock()
-	defer g.eng.mu.Unlock()
+	g.dom.Lock()
+	defer g.dom.Unlock()
 	s := g.stats
 	for _, r := range g.rails {
-		s.PktsSent += r.pktsSent
-		if r.down {
+		s.PktsSent += r.pktsSent.Load()
+		if r.down.Load() {
 			s.FailedRails++
 		}
-		if r.busy {
+		if r.busy.Load() {
 			s.PendingSends++
 		}
 	}

@@ -20,6 +20,11 @@ const (
 	KCTS
 	// KChunk carries a slice of a rendezvous body.
 	KChunk
+	// KAbort tells the peer the sender gave up on message (Tag, MsgID)
+	// — a rail died with its delivery status unknown — so the matching
+	// receive fails instead of waiting forever for bytes that will
+	// never be resent.
+	KAbort
 )
 
 // String implements fmt.Stringer.
@@ -33,6 +38,8 @@ func (k Kind) String() string {
 		return "CTS"
 	case KChunk:
 		return "CHUNK"
+	case KAbort:
+		return "ABORT"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -88,7 +95,7 @@ func DecodeHeader(buf []byte) (Header, error) {
 		return h, ErrShortHeader
 	}
 	h.Kind = Kind(buf[0])
-	if h.Kind < KData || h.Kind > KChunk {
+	if h.Kind < KData || h.Kind > KAbort {
 		return h, fmt.Errorf("core: bad packet kind %d", buf[0])
 	}
 	h.Agg = binary.LittleEndian.Uint16(buf[2:])

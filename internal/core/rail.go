@@ -1,23 +1,34 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Rail is one network path of a gate: a driver plus its track state. The
 // engine keeps at most one packet in flight per rail and consults the
 // strategy the moment the rail goes idle, which is the paper's
 // NIC-activity-driven scheduling.
+//
+// The busy/down flags and the counters are atomics so strategies (which
+// run owning the gate's progress domain) and external observers (tests,
+// tooling) can read them without taking any lock; current is mutated only
+// under the gate's domain.
 type Rail struct {
 	gate    *Gate
 	index   int
 	drv     Driver
-	profile Profile
-	busy    bool
-	down    bool
-	current *Packet
+	profile atomic.Pointer[Profile]
+	busy    atomic.Bool
+	down    atomic.Bool
+	current *Packet // in-flight packet; gate-domain owned
+	// retiring marks a MarkDown'd rail whose healthy driver still owes
+	// the in-flight packet's completion; gate-domain owned.
+	retiring bool
 
 	// stats
-	pktsSent  uint64
-	bytesSent uint64
+	pktsSent  atomic.Uint64
+	bytesSent atomic.Uint64
 }
 
 // Index returns the rail's position within its gate.
@@ -31,37 +42,68 @@ func (r *Rail) Driver() Driver { return r.drv }
 
 // Profile returns the rail's performance profile. Initially the driver's
 // declared profile; SetProfile replaces it with sampled figures.
-func (r *Rail) Profile() Profile { return r.profile }
+func (r *Rail) Profile() Profile { return *r.profile.Load() }
 
 // SetProfile installs a (typically sampled) profile used by strategies
 // for rail selection and stripping ratios.
-func (r *Rail) SetProfile(p Profile) { r.profile = p }
+func (r *Rail) SetProfile(p Profile) { r.profile.Store(&p) }
 
 // Busy reports whether a packet is in flight on the rail.
-func (r *Rail) Busy() bool { return r.busy }
+func (r *Rail) Busy() bool { return r.busy.Load() }
 
 // Down reports whether the rail has been marked failed.
-func (r *Rail) Down() bool { return r.down }
+func (r *Rail) Down() bool { return r.down.Load() }
 
 // MarkDown manually disables the rail; pending and future work is routed
-// to the remaining rails.
+// to the remaining rails. An in-flight packet is left to complete (the
+// rail is healthy, just administratively retired): the rail stays in the
+// poll set until that completion drains, then sendComplete retires it.
+// Disabling the last rail fails the gate's outstanding requests.
 func (r *Rail) MarkDown() {
-	r.gate.eng.mu.Lock()
-	defer r.gate.eng.mu.Unlock()
-	r.down = true
+	g := r.gate
+	g.dom.Lock()
+	defer g.dom.Unlock()
+	r.down.Store(true)
+	if r.current != nil {
+		r.retiring = true
+		return // sendComplete retires the rail once the packet drains
+	}
+	g.eng.retireRail(r)
+	if g.upRails() == 0 {
+		g.eng.failGate(g, ErrRailDown)
+	}
 }
 
 // Stats reports packets and bytes sent on this rail.
-func (r *Rail) Stats() (pkts, bytes uint64) { return r.pktsSent, r.bytesSent }
+func (r *Rail) Stats() (pkts, bytes uint64) { return r.pktsSent.Load(), r.bytesSent.Load() }
 
 // String implements fmt.Stringer.
 func (r *Rail) String() string {
-	return fmt.Sprintf("rail%d(%s busy=%v down=%v)", r.index, r.profile.Name, r.busy, r.down)
+	return fmt.Sprintf("rail%d(%s busy=%v down=%v)", r.index, r.Profile().Name, r.Busy(), r.Down())
 }
 
-// railEvents adapts driver callbacks to engine methods for one rail.
+// railEvents adapts driver callbacks to engine handlers for one rail,
+// routing each event into the owning gate's progress domain so events on
+// different gates never contend and drivers may deliver synchronously
+// from Send without deadlocking.
 type railEvents struct{ r *Rail }
 
-func (e railEvents) SendComplete(rail int)                     { e.r.gate.eng.sendComplete(e.r) }
-func (e railEvents) SendFailed(rail int, p *Packet, err error) { e.r.gate.eng.sendFailed(e.r, p, err) }
-func (e railEvents) Arrive(rail int, p *Packet)                { e.r.gate.eng.arrive(e.r, p) }
+func (e railEvents) SendComplete(rail int) {
+	r := e.r
+	r.gate.dom.Post(func() { r.gate.eng.sendComplete(r) })
+}
+
+func (e railEvents) SendFailed(rail int, p *Packet, err error) {
+	r := e.r
+	r.gate.dom.Post(func() { r.gate.eng.sendFailed(r, p, err) })
+}
+
+func (e railEvents) Arrive(rail int, p *Packet) {
+	r := e.r
+	r.gate.dom.Post(func() { r.gate.eng.arrive(r, p) })
+}
+
+func (e railEvents) RailDown(rail int, err error) {
+	r := e.r
+	r.gate.dom.Post(func() { r.gate.eng.railFailure(r, err) })
+}

@@ -12,14 +12,20 @@ type Request interface {
 	// OnComplete registers fn to run exactly once when the request
 	// completes; if it already has, fn runs immediately.
 	OnComplete(fn func())
+	// Completion returns a channel closed when the request completes.
+	// This is the engine's event-driven waiting primitive: Engine.Wait
+	// blocks here instead of spin-polling when every rail is
+	// event-driven.
+	Completion() <-chan struct{}
 }
 
 // reqState is the shared completion machinery.
 type reqState struct {
-	mu   sync.Mutex
-	done bool
-	err  error
-	cbs  []func()
+	mu     sync.Mutex
+	done   bool
+	err    error
+	cbs    []func()
+	doneCh chan struct{} // lazily created by Completion
 }
 
 func (r *reqState) Done() bool {
@@ -45,6 +51,18 @@ func (r *reqState) OnComplete(fn func()) {
 	r.mu.Unlock()
 }
 
+func (r *reqState) Completion() <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.doneCh == nil {
+		r.doneCh = make(chan struct{})
+		if r.done {
+			close(r.doneCh)
+		}
+	}
+	return r.doneCh
+}
+
 func (r *reqState) complete(err error) {
 	r.mu.Lock()
 	if r.done {
@@ -55,6 +73,9 @@ func (r *reqState) complete(err error) {
 	r.err = err
 	cbs := r.cbs
 	r.cbs = nil
+	if r.doneCh != nil {
+		close(r.doneCh)
+	}
 	r.mu.Unlock()
 	for _, fn := range cbs {
 		fn()
@@ -79,6 +100,11 @@ type SendReq struct {
 	// queuedBytes counts bytes still sitting in the backlog (not yet in
 	// any posted packet).
 	queuedBytes int
+	// failErr, once set, dooms the request: it completes with this
+	// error as soon as no packets remain in flight. Completing earlier
+	// would let the application reuse buffers a driver on a surviving
+	// rail is still transmitting.
+	failErr error
 }
 
 // Gate returns the gate the message is being sent on.
@@ -91,8 +117,15 @@ func (s *SendReq) Tag() uint32 { return s.tag }
 func (s *SendReq) MsgID() uint64 { return s.msg }
 
 // maybeComplete finishes the request once nothing remains queued or in
-// flight. Caller holds the engine lock.
+// flight — with failErr if the request was doomed by a rail failure.
+// Caller owns the gate's progress domain.
 func (s *SendReq) maybeComplete() {
+	if s.failErr != nil {
+		if s.pendingPkts == 0 {
+			s.complete(s.failErr)
+		}
+		return
+	}
 	if s.queuedBytes == 0 && s.pendingPkts == 0 && s.sentBytes >= s.totalBytes {
 		s.complete(nil)
 	}

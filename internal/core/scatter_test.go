@@ -127,9 +127,15 @@ func TestGateStatsAggregation(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		reqs = append(reqs, d.gateBA.Irecv(1, make([]byte, 64)))
 	}
-	for i := 0; i < 4; i++ {
+	// Hold the rail busy after the first send so the remaining segments
+	// accumulate in the backlog — the paper's optimization window — and
+	// get aggregated when the "NIC" goes idle again.
+	reqs = append(reqs, d.gateAB.Isend(1, fill(64, 0)))
+	d.drvsA[0].HoldCompletions()
+	for i := 1; i < 4; i++ {
 		reqs = append(reqs, d.gateAB.Isend(1, fill(64, byte(i))))
 	}
+	d.drvsA[0].ReleaseCompletions()
 	d.pump(t, reqs...)
 	st := d.gateAB.Stats()
 	if st.AggPackets == 0 || st.AggSegments < 2 {

@@ -9,7 +9,11 @@ package core
 // and Schedule whenever rail r is idle and the backlog may have work
 // (after a submit, a send completion, or a rendezvous grant). Schedule
 // must return a packet destined for r, or nil to leave r idle. Strategies
-// run under the engine lock and must not block.
+// run owning the gate's progress domain and must not block. One strategy
+// instance is shared by every gate of an engine and gates progress
+// concurrently, so calls for different gates may overlap: stateless
+// strategies need nothing special, but a strategy holding state that
+// outlives one call (e.g. per-body split plans) must synchronize it.
 type Strategy interface {
 	// Name identifies the strategy ("fifo", "aggreg", "balance",
 	// "aggrail", "split").
@@ -18,6 +22,15 @@ type Strategy interface {
 	Submit(b *Backlog, u *Unit)
 	// Schedule picks the next packet for idle rail r, or returns nil.
 	Schedule(b *Backlog, r *Rail) *Packet
+}
+
+// Discarder is an optional Strategy extension. The engine calls Discard
+// for each granted body it abandons (gate death), so strategies that
+// keep per-body state — like Split's pinned share plans — can release
+// it instead of leaking entries keyed by units that will never be
+// scheduled again.
+type Discarder interface {
+	Discard(b *Backlog, u *Unit)
 }
 
 // EagerOK reports whether unit u fits rail r's eager path; larger units

@@ -1,6 +1,10 @@
 // Package memdrv provides an in-process loopback driver pair used by unit
 // and integration tests: two engines in one process exchange marshalled
-// packets through queues drained by Poll, with optional fault injection.
+// packets, with optional fault injection. The driver is event-driven —
+// completions and arrivals are delivered synchronously from Send, and
+// Poll is a no-op — which is safe against the engine because driver
+// events route into the gate's progress domain and are deferred there
+// whenever the domain is busy.
 package memdrv
 
 import (
@@ -18,13 +22,14 @@ type Driver struct {
 	name string
 	peer *Driver
 
-	mu          sync.Mutex
-	inbox       [][]byte
-	completions []completion
-	down        bool
-	dropNext    int // silently lose the next N sends after accepting them
-	failNext    int // report SendFailed for the next N sends
-	failAfter   int // countdown: when it hits 1, that send fails
+	mu        sync.Mutex
+	down      bool
+	dropNext  int // silently lose the next N sends after accepting them
+	failNext  int // report SendFailed for the next N sends
+	failAfter int // countdown: when it hits 1, that send fails
+	hold      bool
+	held      []heldSend // sends buffered while hold is set
+	prebind   [][]byte   // arrivals buffered until Bind provides Events
 
 	rail int
 	ev   core.Events
@@ -32,9 +37,12 @@ type Driver struct {
 	profile core.Profile
 }
 
-type completion struct {
-	pkt *core.Packet
-	err error
+// heldSend is one send whose events are buffered by HoldCompletions.
+type heldSend struct {
+	pkt  *core.Packet
+	err  error
+	buf  []byte
+	drop bool
 }
 
 // Pair returns two connected drivers with the given profile.
@@ -56,15 +64,26 @@ func (d *Driver) Name() string { return "mem:" + d.name }
 // Profile implements core.Driver.
 func (d *Driver) Profile() core.Profile { return d.profile }
 
-// Bind implements core.Driver.
+// Bind implements core.Driver. Packets that arrived before the driver
+// was bound (the peer sent first) are delivered now.
 func (d *Driver) Bind(rail int, ev core.Events) {
+	d.mu.Lock()
 	d.rail = rail
 	d.ev = ev
+	prebind := d.prebind
+	d.prebind = nil
+	d.mu.Unlock()
+	for _, buf := range prebind {
+		d.deliver(buf)
+	}
 }
 
 // Send implements core.Driver: the packet is marshalled immediately (so
-// later buffer reuse is safe) and delivered to the peer's inbox; the
-// completion is reported at the next Poll.
+// later buffer reuse is safe) and delivered synchronously — the arrival
+// to the peer's Events, then the completion (or injected failure) to
+// this end's. Arrival-first keeps the rail FIFO: anything the
+// completion triggers (the engine kicking the next packet) cannot reach
+// the peer before this packet did. No Poll is needed.
 func (d *Driver) Send(p *core.Packet) error {
 	d.mu.Lock()
 	if d.down {
@@ -89,39 +108,90 @@ func (d *Driver) Send(p *core.Packet) error {
 		}
 	}
 	buf := p.Marshal()
-	d.completions = append(d.completions, completion{pkt: p, err: failErr})
+	if d.hold {
+		d.held = append(d.held, heldSend{pkt: p, err: failErr, buf: buf, drop: drop})
+		d.mu.Unlock()
+		return nil
+	}
+	rail, ev := d.rail, d.ev
 	d.mu.Unlock()
 	if !drop {
-		d.peer.mu.Lock()
-		d.peer.inbox = append(d.peer.inbox, buf)
-		d.peer.mu.Unlock()
+		d.peer.deliver(buf)
+	}
+	if failErr != nil {
+		ev.SendFailed(rail, p, failErr)
+	} else {
+		ev.SendComplete(rail)
 	}
 	return nil
 }
 
-// Poll implements core.Driver: drains completions, then arrivals.
-func (d *Driver) Poll() {
+// HoldCompletions buffers subsequent sends' events instead of delivering
+// them, keeping the rail busy from the engine's point of view. This is
+// the deterministic way for tests to open the paper's optimization
+// window: work accumulates in the backlog while the "NIC" is held, and
+// ReleaseCompletions plays the NIC going idle again.
+func (d *Driver) HoldCompletions() {
 	d.mu.Lock()
-	comps := d.completions
-	d.completions = nil
-	inbox := d.inbox
-	d.inbox = nil
-	d.mu.Unlock()
-	for _, c := range comps {
-		if c.err != nil {
-			d.ev.SendFailed(d.rail, c.pkt, c.err)
-		} else {
-			d.ev.SendComplete(d.rail)
+	defer d.mu.Unlock()
+	d.hold = true
+}
+
+// ReleaseCompletions delivers every held send in order — each packet's
+// arrival before its completion, so packets the completion triggers
+// cannot overtake it on the rail — and then resumes synchronous
+// delivery. hold stays set until the queue is fully drained, so a
+// concurrent Send cannot leapfrog older held packets; it lands in the
+// queue and is delivered by this drain in order.
+func (d *Driver) ReleaseCompletions() {
+	for {
+		d.mu.Lock()
+		if len(d.held) == 0 {
+			d.hold = false
+			d.mu.Unlock()
+			return
 		}
-	}
-	for _, buf := range inbox {
-		pkt, err := core.Unmarshal(buf)
-		if err != nil {
-			panic("memdrv: corrupt packet: " + err.Error())
+		held := d.held
+		d.held = nil
+		rail, ev := d.rail, d.ev
+		d.mu.Unlock()
+		for _, h := range held {
+			if !h.drop {
+				d.peer.deliver(h.buf)
+			}
+			if h.err != nil {
+				ev.SendFailed(rail, h.pkt, h.err)
+			} else {
+				ev.SendComplete(rail)
+			}
 		}
-		d.ev.Arrive(d.rail, pkt)
 	}
 }
+
+// deliver hands a marshalled packet to this end's engine, buffering it
+// if no Events sink is bound yet.
+func (d *Driver) deliver(buf []byte) {
+	d.mu.Lock()
+	if d.ev == nil {
+		d.prebind = append(d.prebind, buf)
+		d.mu.Unlock()
+		return
+	}
+	rail, ev := d.rail, d.ev
+	d.mu.Unlock()
+	pkt, err := core.Unmarshal(buf)
+	if err != nil {
+		panic("memdrv: corrupt packet: " + err.Error())
+	}
+	ev.Arrive(rail, pkt)
+}
+
+// NeedsPoll implements core.Driver: the driver is event-driven.
+func (d *Driver) NeedsPoll() bool { return false }
+
+// Poll implements core.Driver; delivery is synchronous, so this is a
+// no-op.
+func (d *Driver) Poll() {}
 
 // Close implements core.Driver.
 func (d *Driver) Close() error {

@@ -16,6 +16,7 @@ type recorder struct {
 
 func (r *recorder) SendComplete(int)                          { r.completes++ }
 func (r *recorder) SendFailed(_ int, _ *core.Packet, e error) { r.fails = append(r.fails, e) }
+func (r *recorder) RailDown(_ int, e error)                   { r.fails = append(r.fails, e) }
 func (r *recorder) Arrive(_ int, p *core.Packet)              { r.arrivals = append(r.arrivals, p) }
 
 func pkt(payload string) *core.Packet {
@@ -128,8 +129,8 @@ func TestDropNextSends(t *testing.T) {
 
 func TestPollOrderCompletionsBeforeArrivals(t *testing.T) {
 	a, b, _, _ := boundPair(t)
-	// a sends to b; b sends to a; a.Poll must deliver a's completion
-	// then b's packet.
+	// Delivery is synchronous: a's send completes (right after the
+	// packet lands at b) before b's reply can arrive at a.
 	var order []string
 	ra2 := &orderRecorder{order: &order}
 	a.Bind(0, ra2)
@@ -145,7 +146,23 @@ type orderRecorder struct{ order *[]string }
 
 func (r *orderRecorder) SendComplete(int)                    { *r.order = append(*r.order, "complete") }
 func (r *orderRecorder) SendFailed(int, *core.Packet, error) { *r.order = append(*r.order, "fail") }
+func (r *orderRecorder) RailDown(int, error)                 { *r.order = append(*r.order, "down") }
 func (r *orderRecorder) Arrive(int, *core.Packet)            { *r.order = append(*r.order, "arrive") }
+
+func TestSendBeforePeerBindBuffersArrival(t *testing.T) {
+	a, b := Pair("t", DefaultProfile())
+	ra := &recorder{}
+	a.Bind(0, ra)
+	// b is not bound yet: the packet must be buffered, not panic.
+	if err := a.Send(pkt("early")); err != nil {
+		t.Fatal(err)
+	}
+	rb := &recorder{}
+	b.Bind(0, rb)
+	if len(rb.arrivals) != 1 || string(rb.arrivals[0].Payload) != "early" {
+		t.Fatalf("pre-bind packet lost: %v", rb.arrivals)
+	}
+}
 
 func TestNameAndProfile(t *testing.T) {
 	a, b := Pair("link", DefaultProfile())

@@ -19,6 +19,7 @@ type recorder struct {
 
 func (r *recorder) SendComplete(int)                    { r.completes = append(r.completes, r.w.Now()) }
 func (r *recorder) SendFailed(int, *core.Packet, error) { r.fails++ }
+func (r *recorder) RailDown(int, error)                 { r.fails++ }
 func (r *recorder) Arrive(_ int, p *core.Packet) {
 	r.arrivals = append(r.arrivals, p)
 }

@@ -7,7 +7,9 @@
 // Framing is a 4-byte little-endian length followed by a marshalled
 // packet. A writer goroutine drains a send queue; a reader goroutine
 // parses frames; Poll delivers completions and arrivals to the engine on
-// the caller's goroutine, as the Driver contract requires.
+// the caller's goroutine. This is the only pumped driver: its rails join
+// the engine's active poll set (NeedsPoll reports true) and waiting
+// goroutines pump them, while event-driven drivers are never polled.
 package tcpdrv
 
 import (
@@ -61,6 +63,11 @@ type Driver struct {
 	inbox       []*core.Packet
 	closed      bool
 	rerr        error
+	rerrSent    bool // reader error already reported via Events.RailDown
+
+	// pollMu serializes Poll: several waiting goroutines may pump the
+	// rail concurrently, and per-rail event order must be preserved.
+	pollMu sync.Mutex
 
 	wg sync.WaitGroup
 }
@@ -201,13 +208,27 @@ func (d *Driver) readerDone(err error) {
 	d.mu.Unlock()
 }
 
-// Poll implements core.Driver: delivers queued completions and arrivals.
+// NeedsPoll implements core.Driver: real sockets need pumping, so the
+// rail joins the engine's active poll set.
+func (d *Driver) NeedsPoll() bool { return true }
+
+// Poll implements core.Driver: delivers queued completions and arrivals,
+// and reports a dead reader (peer gone, corrupt frame) as a rail failure
+// exactly once. Safe for concurrent callers.
 func (d *Driver) Poll() {
+	d.pollMu.Lock()
+	defer d.pollMu.Unlock()
 	d.mu.Lock()
 	comps := d.completions
 	d.completions = nil
 	inbox := d.inbox
 	d.inbox = nil
+	rerr := d.rerr
+	if rerr != nil && !d.rerrSent {
+		d.rerrSent = true
+	} else {
+		rerr = nil
+	}
 	d.mu.Unlock()
 	for _, c := range comps {
 		if c.err != nil {
@@ -218,6 +239,9 @@ func (d *Driver) Poll() {
 	}
 	for _, pkt := range inbox {
 		d.ev.Arrive(d.rail, pkt)
+	}
+	if rerr != nil {
+		d.ev.RailDown(d.rail, rerr)
 	}
 }
 

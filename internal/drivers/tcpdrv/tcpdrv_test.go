@@ -14,6 +14,7 @@ type recorder struct {
 	mu        sync.Mutex
 	completes int
 	fails     []error
+	downs     []error
 	arrivals  []*core.Packet
 }
 
@@ -26,6 +27,11 @@ func (r *recorder) SendFailed(_ int, _ *core.Packet, e error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.fails = append(r.fails, e)
+}
+func (r *recorder) RailDown(_ int, e error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.downs = append(r.downs, e)
 }
 func (r *recorder) Arrive(_ int, p *core.Packet) {
 	r.mu.Lock()

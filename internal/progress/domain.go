@@ -1,0 +1,88 @@
+// Package progress provides the engine's concurrency primitive: a
+// progress domain, in the spirit of PIOMan (the progression engine behind
+// NewMadeleine). A domain is a mutual-exclusion scope for one independent
+// unit of communication progress — in this library, one gate. Work on
+// different domains proceeds in parallel; within a domain, application
+// calls and driver events are serialized.
+//
+// The distinctive operation is Post: drivers deliver completion and
+// arrival events with it, and it never blocks. If the domain is free the
+// event runs immediately on the delivering goroutine; if the domain is
+// owned (by an application call or by another event), the event is
+// deferred to the current owner, who drains it before releasing. This
+// makes synchronous, same-process drivers safe: a driver invoked under a
+// domain may deliver an event back into that domain (or into a peer's)
+// without deadlocking, because the nested delivery simply lands in the
+// owner's inbox.
+package progress
+
+import "sync"
+
+// Domain is one progress unit's mutual-exclusion scope plus its inbox of
+// deferred events. Use NewDomain; the zero value is not usable.
+type Domain struct {
+	mu      sync.Mutex
+	free    sync.Cond
+	owned   bool
+	pending []func()
+}
+
+// NewDomain returns a ready-to-use domain.
+func NewDomain() *Domain {
+	d := &Domain{}
+	d.free.L = &d.mu
+	return d
+}
+
+// Lock acquires exclusive ownership, blocking while another goroutine
+// owns the domain. Domains are not reentrant: a goroutine that already
+// owns the domain must not call Lock again (deliver nested work through
+// Post instead).
+func (d *Domain) Lock() {
+	d.mu.Lock()
+	for d.owned {
+		d.free.Wait()
+	}
+	d.owned = true
+	d.mu.Unlock()
+}
+
+// Unlock drains every event deferred while the domain was owned — still
+// holding ownership, so handlers run mutually excluded — and then
+// releases. Events posted during the drain are drained too; the domain is
+// only released once the inbox is empty.
+func (d *Domain) Unlock() {
+	for {
+		d.mu.Lock()
+		if len(d.pending) == 0 {
+			d.owned = false
+			d.free.Signal()
+			d.mu.Unlock()
+			return
+		}
+		fns := d.pending
+		d.pending = nil
+		d.mu.Unlock()
+		for _, fn := range fns {
+			fn()
+		}
+	}
+}
+
+// Post runs fn with ownership of the domain and never blocks: if the
+// domain is free, fn runs immediately on the calling goroutine; if it is
+// owned, fn is deferred to the current owner, who runs it before
+// releasing. Either way fn executes mutually excluded with all other work
+// on the domain. Ordering is preserved among deferred events.
+func (d *Domain) Post(fn func()) {
+	d.mu.Lock()
+	if d.owned {
+		d.pending = append(d.pending, fn)
+		d.mu.Unlock()
+		return
+	}
+	d.owned = true
+	d.mu.Unlock()
+	fn()
+	d.Unlock()
+}

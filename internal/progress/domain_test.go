@@ -1,0 +1,142 @@
+package progress
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLockUnlockMutualExclusion(t *testing.T) {
+	d := NewDomain()
+	var counter int
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				d.Lock()
+				counter++
+				d.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000", counter)
+	}
+}
+
+func TestPostRunsImmediatelyWhenFree(t *testing.T) {
+	d := NewDomain()
+	ran := false
+	d.Post(func() { ran = true })
+	if !ran {
+		t.Fatal("Post on a free domain did not run synchronously")
+	}
+}
+
+func TestPostDefersWhileOwned(t *testing.T) {
+	d := NewDomain()
+	var order []string
+	d.Lock()
+	d.Post(func() { order = append(order, "deferred") })
+	if len(order) != 0 {
+		t.Fatal("Post ran while the domain was owned")
+	}
+	order = append(order, "owner")
+	d.Unlock()
+	if len(order) != 2 || order[0] != "owner" || order[1] != "deferred" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDeferredEventsPreserveOrder(t *testing.T) {
+	d := NewDomain()
+	var got []int
+	d.Lock()
+	for i := 0; i < 10; i++ {
+		i := i
+		d.Post(func() { got = append(got, i) })
+	}
+	d.Unlock()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got = %v", got)
+		}
+	}
+}
+
+func TestEventsPostedDuringDrainAreDrained(t *testing.T) {
+	d := NewDomain()
+	var hits int
+	d.Lock()
+	d.Post(func() {
+		hits++
+		d.Post(func() { hits++ }) // posted while the drain owns the domain
+	})
+	d.Unlock()
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2 (nested post lost)", hits)
+	}
+}
+
+func TestCrossDomainPostDoesNotDeadlock(t *testing.T) {
+	// Two domains delivering into each other, the pattern of two engines
+	// joined by a synchronous in-process driver.
+	a, b := NewDomain(), NewDomain()
+	a.Lock()
+	a.Post(func() { t.Fatal("should be deferred") }) // sanity: a is owned
+	var ran atomic.Bool
+	b.Post(func() { // b free: runs now, nested post back into owned a defers
+		a.Post(func() { ran.Store(true) })
+	})
+	if ran.Load() {
+		t.Fatal("post into owned domain ran early")
+	}
+	// Drop the sanity event before Unlock drains it.
+	a.mu.Lock()
+	a.pending = a.pending[1:]
+	a.mu.Unlock()
+	a.Unlock()
+	if !ran.Load() {
+		t.Fatal("deferred cross-domain event never ran")
+	}
+}
+
+func TestConcurrentPostAndLockStress(t *testing.T) {
+	d := NewDomain()
+	var inside atomic.Int32
+	var total atomic.Int64
+	body := func() {
+		if inside.Add(1) != 1 {
+			t.Error("two owners inside the domain")
+		}
+		total.Add(1)
+		inside.Add(-1)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				d.Post(body)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				d.Lock()
+				body()
+				d.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	// Every posted and locked body must eventually run exactly once.
+	if total.Load() != 4*2000*2 {
+		t.Fatalf("total = %d, want %d", total.Load(), 4*2000*2)
+	}
+}

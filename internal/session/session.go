@@ -4,6 +4,13 @@
 // rail is dialed, authenticated with a preamble token, and attached to a
 // gate in a deterministic order. It replaces the hand-wiring of
 // listeners and dials that cmd/nmad-pingpong does manually.
+//
+// Each session gate is its own progress domain: traffic to different
+// peers on one engine proceeds in parallel, and the gate's TCP rails
+// join the engine's active poll set, pumped by goroutines blocked in
+// Engine.Wait. If the peer process dies, the rails' readers fail, the
+// drivers report RailDown, and the engine fails the gate's outstanding
+// requests — waiters get an error instead of hanging.
 package session
 
 import (

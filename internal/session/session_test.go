@@ -250,6 +250,54 @@ func TestFramesBehindPreambleSurvive(t *testing.T) {
 	rc.Close()
 }
 
+// TestDeadPeerFailsWaiters: when the peer process dies mid-session, the
+// rails' readers fail, the drivers report RailDown, and the engine fails
+// the gate's outstanding requests — a blocked Wait returns an error
+// instead of hanging forever.
+func TestDeadPeerFailsWaiters(t *testing.T) {
+	engA, engB := engines(t)
+	srv, err := Listen(engA, "alpha", "127.0.0.1:0", twoRails())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	type acceptResult struct {
+		gate *core.Gate
+		err  error
+	}
+	accepted := make(chan acceptResult, 1)
+	go func() {
+		g, _, err := srv.Accept()
+		accepted <- acceptResult{g, err}
+	}()
+	if _, _, err := Connect(engB, "beta", srv.ControlAddr()); err != nil {
+		t.Fatal(err)
+	}
+	res := <-accepted
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	// A receive that the peer will never satisfy.
+	rr := res.gate.Irecv(9, make([]byte, 64))
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- engA.Wait(rr) }()
+	// The peer dies.
+	if err := engB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-waitErr:
+		if err == nil {
+			t.Fatal("Wait returned nil after the peer died")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Wait still blocked 10s after the peer died")
+	}
+	if res.gate.UpRails() != 0 {
+		t.Fatalf("UpRails = %d after peer death, want 0", res.gate.UpRails())
+	}
+}
+
 // jsonLine marshals v with the session's newline framing.
 func jsonLine(v any) ([]byte, error) {
 	data, err := jsonMarshal(v)

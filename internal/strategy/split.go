@@ -2,6 +2,7 @@ package strategy
 
 import (
 	"sort"
+	"sync"
 
 	"newmad/internal/core"
 )
@@ -41,7 +42,12 @@ type Split struct {
 	// path even when a rail could send them eagerly, so they become
 	// strippable. 0 means AggThreshold.
 	rdvMin int
-	plans  map[*core.Unit][]railShare
+	// mu guards plans: one Split instance serves every gate of an
+	// engine, and gates schedule concurrently from their own progress
+	// domains. A plan's entries are only mutated by the owning unit's
+	// gate, so the map is the sole cross-gate state.
+	mu    sync.Mutex
+	plans map[*core.Unit][]railShare
 }
 
 // railShare pins one byte range of a body to one rail.
@@ -107,10 +113,14 @@ func (s *Split) Schedule(b *core.Backlog, r *core.Rail) *core.Packet {
 func (s *Split) scheduleBody(b *core.Backlog, r *core.Rail) *core.Packet {
 	for bi := 0; bi < b.BodyCount(); bi++ {
 		u := b.Body(bi)
+		s.mu.Lock()
 		plan, ok := s.plans[u]
+		s.mu.Unlock()
 		if !ok {
 			plan = s.makePlan(b, u, r)
+			s.mu.Lock()
 			s.plans[u] = plan
+			s.mu.Unlock()
 		}
 		open := 0
 		for j := range plan {
@@ -127,7 +137,9 @@ func (s *Split) scheduleBody(b *core.Backlog, r *core.Rail) *core.Packet {
 			if e.rail == r.Index() {
 				e.taken = true
 				if planDone(plan) {
+					s.mu.Lock()
 					delete(s.plans, u)
+					s.mu.Unlock()
 				}
 				return b.ChunkSpan(u, e.from, e.to)
 			}
@@ -136,7 +148,9 @@ func (s *Split) scheduleBody(b *core.Backlog, r *core.Rail) *core.Packet {
 		if open > 0 {
 			continue // other rails still owe their shares of this body
 		}
+		s.mu.Lock()
 		delete(s.plans, u)
+		s.mu.Unlock()
 		if from, to, ok := u.FirstSpan(); ok {
 			// Orphaned ranges after failures: greedy, MinChunk-bounded.
 			n := to - from
@@ -147,6 +161,14 @@ func (s *Split) scheduleBody(b *core.Backlog, r *core.Rail) *core.Packet {
 		}
 	}
 	return nil
+}
+
+// Discard implements core.Discarder: the engine abandoned the body
+// (gate death), so its plan must not leak.
+func (s *Split) Discard(b *core.Backlog, u *core.Unit) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.plans, u)
 }
 
 func planDone(plan []railShare) bool {
@@ -237,4 +259,7 @@ func (s *Split) makePlan(b *core.Backlog, u *core.Unit, requester *core.Rail) []
 	return plan
 }
 
-var _ core.Strategy = (*Split)(nil)
+var (
+	_ core.Strategy  = (*Split)(nil)
+	_ core.Discarder = (*Split)(nil)
+)

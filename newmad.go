@@ -9,6 +9,15 @@
 // segments, balance segments across heterogeneous rails, and strip large
 // messages into bandwidth-proportional chunks.
 //
+// Progress is sharded per gate: every gate (peer connection) is an
+// independent progress domain with its own lock, so traffic to different
+// peers proceeds in parallel — the engine itself keeps only a small
+// registry. Completion is event-driven: requests expose a completion
+// channel and Engine.Wait blocks on it, woken directly by the completing
+// driver event. Only rails whose driver genuinely needs pumping (TCP)
+// are ever polled, via the engine's active-rail set; in-memory and
+// simulated rails are never polled.
+//
 // A minimal exchange over two simulated rails:
 //
 //	pair := newmad.NewSimPair(newmad.SimPairConfig{
@@ -18,7 +27,9 @@
 //	... see examples/quickstart
 //
 // Real deployments replace the simulated rails with TCP rails (DialTCP /
-// AcceptTCP) and drive progress with Engine.Poll / Engine.Wait.
+// AcceptTCP, or negotiated multi-rail sessions via ListenSession /
+// ConnectSession) and wait with Engine.Wait, which pumps the active poll
+// set while it blocks.
 package newmad
 
 import (
