@@ -29,6 +29,7 @@ func main() {
 		iters    = flag.Int("iters", 8, "timed iterations per point")
 		verify   = flag.Bool("verify", false, "verify payload integrity during measurement")
 		check    = flag.Bool("check", false, "evaluate every paper claim and print a pass/fail table")
+		collAlgo = flag.String("coll-algo", "", "force the collective algorithm of ext-coll's selected series (linear, tree, pipeline; default auto)")
 	)
 	flag.Parse()
 	if *check {
@@ -48,7 +49,7 @@ func main() {
 	if *plotFlag {
 		mode = modePlot
 	}
-	if err := run(*figFlag, mode, *outDir, bench.Quality{Warmup: *warmup, Iters: *iters, Verify: *verify}); err != nil {
+	if err := run(*figFlag, mode, *outDir, bench.Quality{Warmup: *warmup, Iters: *iters, Verify: *verify, Coll: *collAlgo}); err != nil {
 		fmt.Fprintln(os.Stderr, "nmad-bench:", err)
 		os.Exit(1)
 	}

@@ -1,40 +1,100 @@
-// Collective: a four-rank simulated cluster (full mesh of Myri-10G +
-// Quadrics pairs) running the mpl collectives — barrier, broadcast and
-// allreduce — and reporting per-operation virtual latencies. Broadcast
-// payloads span the eager and rendezvous regimes, so large broadcasts
-// get stripped across both rails of every link by the split strategy.
+// Collective: an N-rank simulated cluster (full mesh of Myri-10G +
+// Quadrics pairs) running the mpl collectives subsystem.
+//
+//	collective               # 8 ranks, size-aware algorithm selection
+//	collective -ranks 16     # more ranks
+//	collective -algo tree    # force one algorithm family everywhere
+//	collective -compare      # linear vs tree vs pipeline side by side
+//
+// The report shows per-operation virtual-time makespans — barrier,
+// broadcast across the eager and rendezvous regimes, allreduce (tree and
+// ring paths), alltoall — plus a nonblocking section where an IAllreduce
+// and an IAllgather are driven concurrently with point-to-point halo
+// traffic through the per-gate progress domains.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"sort"
 	"sync"
 
 	"newmad"
 )
 
-const ranks = 4
-
 func main() {
+	ranks := flag.Int("ranks", 8, "number of ranks (>= 2)")
+	algoFlag := flag.String("algo", "auto", "collective algorithm: auto, linear, tree, pipeline")
+	compare := flag.Bool("compare", false, "run every algorithm family and print them side by side")
+	flag.Parse()
+	if *ranks < 2 {
+		fmt.Fprintf(os.Stderr, "collective: -ranks %d: need at least 2\n", *ranks)
+		os.Exit(1)
+	}
+	algo, err := newmad.ParseCollAlgo(*algoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collective:", err)
+		os.Exit(1)
+	}
+	if *compare {
+		fmt.Printf("%d ranks, full mesh, 2 heterogeneous rails per link\n", *ranks)
+		fmt.Printf("%-22s %12s %12s %12s %12s\n", "operation", "linear", "tree", "pipeline", "auto")
+		algos := []newmad.CollAlgo{newmad.CollLinear, newmad.CollTree, newmad.CollPipeline, newmad.CollAuto}
+		columns := make([]map[string]float64, len(algos))
+		var names []string
+		for i, a := range algos {
+			columns[i] = runOnce(*ranks, a)
+			if i == 0 {
+				for name := range columns[i] {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+			}
+		}
+		for _, name := range names {
+			fmt.Printf("%-22s", name)
+			for i := range algos {
+				fmt.Printf(" %9.2f us", columns[i][name])
+			}
+			fmt.Println()
+		}
+		return
+	}
+	results := runOnce(*ranks, algo)
+	var names []string
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%d ranks, full mesh, 2 heterogeneous rails per link, algo=%v\n", *ranks, algo)
+	for _, name := range names {
+		fmt.Printf("%-22s %10.2f us\n", name, results[name])
+	}
+}
+
+// runOnce builds a fresh cluster, runs the suite under the given forced
+// algorithm and returns makespans in microseconds by operation name.
+func runOnce(ranks int, algo newmad.CollAlgo) map[string]float64 {
 	cluster := newmad.NewSimCluster(newmad.SimClusterConfig{
 		Nodes:    ranks,
 		NICs:     []newmad.NICParams{newmad.Myri10G(), newmad.QsNetII()},
 		Strategy: newmad.StrategySplit,
 		Sample:   true,
 	})
-
-	type result struct {
-		name string
-		us   float64
-	}
 	var mu sync.Mutex
-	var results []result
+	results := make(map[string]float64)
 	record := func(name string, us float64) {
 		mu.Lock()
 		defer mu.Unlock()
-		results = append(results, result{name, us})
+		results[name] = us
 	}
 
 	cluster.SpawnRanks(func(p *newmad.Proc, comm *newmad.Comm) {
+		sel := comm.Selector() // seeded from the sampled rail profiles
+		sel.Force = algo
+		comm.SetSelector(sel)
+
 		// Barrier latency (averaged over a few rounds).
 		comm.Barrier() // warm up connections
 		start := p.Now()
@@ -64,25 +124,65 @@ func main() {
 				}
 			}
 			if comm.Rank() == 0 {
-				record(fmt.Sprintf("bcast %7d B", size), float64(p.Now()-start)/1e3)
+				record(fmt.Sprintf("bcast %8d B", size), float64(p.Now()-start)/1e3)
 			}
 		}
 
-		// Allreduce.
+		// Allreduce at a tree-friendly and a ring-friendly size.
+		for _, size := range []int{1 << 10, 1 << 20} {
+			send := make([]byte, size)
+			recv := make([]byte, size)
+			comm.Barrier()
+			start := p.Now()
+			comm.Allreduce(send, recv, newmad.OpSumInt64())
+			comm.Barrier()
+			if comm.Rank() == 0 {
+				record(fmt.Sprintf("allreduce %5d KiB", size>>10), float64(p.Now()-start)/1e3)
+			}
+		}
+
+		// AllSumInt64 sanity.
+		sum := comm.AllSumInt64(int64(comm.Rank() + 1))
+		if sum != int64(ranks)*int64(ranks+1)/2 {
+			panic("allreduce wrong sum")
+		}
+
+		// Alltoall.
+		const block = 8 << 10
+		a2aSend := make([]byte, block*ranks)
+		a2aRecv := make([]byte, block*ranks)
 		comm.Barrier()
 		start = p.Now()
-		sum := comm.AllSumInt64(int64(comm.Rank() + 1))
+		comm.Alltoall(a2aSend, a2aRecv)
+		comm.Barrier()
 		if comm.Rank() == 0 {
-			record("allreduce", float64(p.Now()-start)/1e3)
+			record("alltoall 8 KiB/blk", float64(p.Now()-start)/1e3)
 		}
-		if sum != ranks*(ranks+1)/2 {
-			panic("allreduce wrong sum")
+
+		// Nonblocking: an allreduce and an allgather in flight while halo
+		// point-to-point traffic runs on user tags.
+		send := make([]byte, 64<<10)
+		recv := make([]byte, 64<<10)
+		ag := make([]byte, 1<<10*ranks)
+		comm.Barrier()
+		start = p.Now()
+		co1 := comm.IAllreduce(send, recv, newmad.OpSumInt64())
+		co2 := comm.IAllgather(make([]byte, 1<<10), ag)
+		right, left := (comm.Rank()+1)%ranks, (comm.Rank()-1+ranks)%ranks
+		haloOut := make([]byte, 4<<10)
+		haloIn := make([]byte, 4<<10)
+		comm.SendRecv(right, 7, haloOut, left, 7, haloIn)
+		if err := co1.Wait(); err != nil {
+			panic(err)
+		}
+		if err := co2.Wait(); err != nil {
+			panic(err)
+		}
+		comm.Barrier()
+		if comm.Rank() == 0 {
+			record("overlap iallreduce+", float64(p.Now()-start)/1e3)
 		}
 	})
 	cluster.W.Run()
-
-	fmt.Printf("%d ranks, full mesh, 2 heterogeneous rails per link\n", ranks)
-	for _, r := range results {
-		fmt.Printf("%-16s %10.2f us\n", r.name, r.us)
-	}
+	return results
 }

@@ -37,6 +37,13 @@ type Cluster struct {
 	Engines []*core.Engine
 	// Gates[i][j] is node i's gate to node j (nil on the diagonal).
 	Gates [][]*core.Gate
+	// Selector is the collective algorithm selector installed on every
+	// communicator. Algorithm selection must agree on every rank (the
+	// schedules of different algorithms do not interoperate), so the
+	// cluster seeds one selector — from the rank-0 rail profiles — and
+	// distributes it, rather than letting each rank seed from its own
+	// sampled figures.
+	Selector mpl.Selector
 }
 
 // NewCluster builds the platform described by cfg.
@@ -89,6 +96,11 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			c.Gates[j][i] = gj
 		}
 	}
+	var profs []core.Profile
+	for _, r := range c.Gates[0][1].Rails() {
+		profs = append(profs, r.Profile())
+	}
+	c.Selector = mpl.SelectorFromProfiles(profs)
 	return c
 }
 
@@ -104,6 +116,9 @@ func (c *Cluster) Comm(rank int, p *des.Proc) *mpl.Comm {
 	if err != nil {
 		panic("bench: " + err.Error())
 	}
+	// Install the cluster-wide seeded selector: every rank must make
+	// the same algorithm choices.
+	comm.SetSelector(c.Selector)
 	return comm
 }
 

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+
+	"newmad/internal/core"
+	"newmad/internal/des"
+	"newmad/internal/mpl"
+	"newmad/internal/simnet"
+	"newmad/internal/strategy"
+)
+
+// Collective benchmarks: N-rank simulated clusters running the mpl
+// collectives, measured by virtual-time makespan (start of the operation
+// to the last rank's completion). These extend the paper's two-node
+// figures to the regime the sharded progress engine exists for — many
+// gates busy at once.
+
+// collCluster builds the standard collective testbed: a full mesh of
+// Myri-10G + Quadrics pairs under the split strategy, with the algorithm
+// selector seeded from the declared rail profiles and the given forced
+// algorithm installed on every rank.
+func collCluster(ranks int) *Cluster {
+	return NewCluster(ClusterConfig{
+		Nodes:    ranks,
+		NICs:     []simnet.NICParams{simnet.Myri10G(), simnet.QsNetII()},
+		Strategy: func() core.Strategy { return strategy.NewSplit(strategy.SplitRatio) },
+	})
+}
+
+// BcastMakespan measures the average makespan, in microseconds, of a
+// size-byte broadcast from rank 0 across ranks nodes with the given
+// algorithm (AlgoAuto = let the seeded selector choose).
+func BcastMakespan(ranks, size int, algo mpl.Algo, q Quality) float64 {
+	cluster := collCluster(ranks)
+	doneAt := make([]des.Time, ranks)
+	var startAt des.Time
+	var totalNS int64
+	cluster.SpawnRanks(func(p *des.Proc, comm *mpl.Comm) {
+		sel := comm.Selector()
+		sel.Force = algo
+		comm.SetSelector(sel)
+		buf := make([]byte, size)
+		for it := 0; it < q.Warmup+q.Iters; it++ {
+			if comm.Rank() == 0 {
+				for i := range buf {
+					buf[i] = byte(it + i)
+				}
+			}
+			comm.Barrier()
+			if comm.Rank() == 0 {
+				startAt = p.Now()
+			}
+			comm.Bcast(0, buf)
+			doneAt[comm.Rank()] = p.Now()
+			if q.Verify {
+				for i := range buf {
+					if buf[i] != byte(it+i) {
+						panic(fmt.Sprintf("bench: bcast corrupt at rank %d byte %d", comm.Rank(), i))
+					}
+				}
+			}
+			comm.Barrier()
+			if comm.Rank() == 0 && it >= q.Warmup {
+				max := startAt
+				for _, d := range doneAt {
+					if d > max {
+						max = d
+					}
+				}
+				totalNS += int64(max - startAt)
+			}
+		}
+	})
+	cluster.W.Run()
+	return float64(totalNS) / float64(q.Iters) / 1e3
+}
+
+// AllreduceMakespan measures the average makespan, in microseconds, of a
+// size-byte (int64-element) allreduce across ranks nodes.
+func AllreduceMakespan(ranks, size int, algo mpl.Algo, q Quality) float64 {
+	cluster := collCluster(ranks)
+	doneAt := make([]des.Time, ranks)
+	var startAt des.Time
+	var totalNS int64
+	size = size / 8 * 8
+	if size == 0 {
+		size = 8
+	}
+	cluster.SpawnRanks(func(p *des.Proc, comm *mpl.Comm) {
+		sel := comm.Selector()
+		sel.Force = algo
+		comm.SetSelector(sel)
+		send := make([]byte, size)
+		recv := make([]byte, size)
+		for i := range send {
+			send[i] = byte(comm.Rank() + i)
+		}
+		for it := 0; it < q.Warmup+q.Iters; it++ {
+			comm.Barrier()
+			if comm.Rank() == 0 {
+				startAt = p.Now()
+			}
+			comm.Allreduce(send, recv, mpl.OpSumInt64())
+			doneAt[comm.Rank()] = p.Now()
+			comm.Barrier()
+			if comm.Rank() == 0 && it >= q.Warmup {
+				max := startAt
+				for _, d := range doneAt {
+					if d > max {
+						max = d
+					}
+				}
+				totalNS += int64(max - startAt)
+			}
+		}
+	})
+	cluster.W.Run()
+	return float64(totalNS) / float64(q.Iters) / 1e3
+}
+
+// collSweep builds one makespan series over sizes. Makespans come back
+// in microseconds; latency figures store nanoseconds (Figure.value
+// converts for display).
+func collSweep(name string, measure func(ranks, size int, algo mpl.Algo, q Quality) float64,
+	ranks int, algo mpl.Algo, sizes []int, q Quality) Series {
+	s := Series{Name: name}
+	for _, size := range sizes {
+		s.Points = append(s.Points, Point{X: size, Y: measure(ranks, size, algo, q) * 1e3})
+	}
+	return s
+}
+
+// ExtColl builds the collective-algorithms figure: broadcast makespan on
+// an 8-rank simulated cluster, linear vs binomial tree vs chunked
+// pipeline vs the size-aware selector. q.Coll (the nmad-bench -coll-algo
+// knob) forces the "selected" series to one algorithm.
+func ExtColl(q Quality) *Figure {
+	const ranks = 8
+	sizes := []int{1 << 10, 8 << 10, 64 << 10, 512 << 10, 2 << 20}
+	selected := mpl.AlgoAuto
+	if q.Coll != "" {
+		a, err := mpl.ParseAlgo(q.Coll)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		selected = a
+	}
+	return &Figure{
+		ID:     "ext-coll",
+		Title:  fmt.Sprintf("Broadcast algorithms, %d ranks (makespan)", ranks),
+		XLabel: "message size (bytes)", YLabel: "us",
+		Series: []Series{
+			collSweep("linear", BcastMakespan, ranks, mpl.AlgoLinear, sizes, q),
+			collSweep("binomial tree", BcastMakespan, ranks, mpl.AlgoTree, sizes, q),
+			collSweep("chunked pipeline", BcastMakespan, ranks, mpl.AlgoPipeline, sizes, q),
+			collSweep("selected ("+selected.String()+")", BcastMakespan, ranks, selected, sizes, q),
+		},
+	}
+}
+
+// ExtAllreduce builds the allreduce-algorithms figure: tree
+// (reduce+broadcast) vs ring (reduce-scatter+allgather) vs the selector,
+// 8 ranks.
+func ExtAllreduce(q Quality) *Figure {
+	const ranks = 8
+	sizes := []int{1 << 10, 16 << 10, 128 << 10, 1 << 20, 4 << 20}
+	return &Figure{
+		ID:     "ext-allreduce",
+		Title:  fmt.Sprintf("Allreduce algorithms, %d ranks (makespan)", ranks),
+		XLabel: "message size (bytes)", YLabel: "us",
+		Series: []Series{
+			collSweep("tree", AllreduceMakespan, ranks, mpl.AlgoTree, sizes, q),
+			collSweep("ring", AllreduceMakespan, ranks, mpl.AlgoPipeline, sizes, q),
+			collSweep("selected (auto)", AllreduceMakespan, ranks, mpl.AlgoAuto, sizes, q),
+		},
+	}
+}

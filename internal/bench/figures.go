@@ -14,6 +14,9 @@ type Quality struct {
 	Warmup int
 	Iters  int
 	Verify bool
+	// Coll forces the collective algorithm of the "selected" series in
+	// the ext-coll figure ("linear", "tree", "pipeline"; empty = auto).
+	Coll string
 }
 
 // Default is the quality used by the CLI.
@@ -172,6 +175,7 @@ var builders = map[string]func(Quality) *Figure{
 	"fig5a": Fig5a, "fig5b": Fig5b,
 	"fig6": Fig6, "fig7": Fig7,
 	"ext-pio": ExtPIO, "ext-rails": ExtRails, "ext-mixed": ExtMixed,
+	"ext-coll": ExtColl, "ext-allreduce": ExtAllreduce,
 }
 
 // FigureIDs lists every reproducible figure in order.

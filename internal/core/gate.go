@@ -148,6 +148,11 @@ func (g *Gate) Isend(tag uint32, data []byte) *SendReq {
 func (g *Gate) Isendv(tag uint32, segs [][]byte) *SendReq {
 	g.dom.Lock()
 	defer g.dom.Unlock()
+	return g.isendv(tag, segs)
+}
+
+// isendv is Isendv's body; caller owns the gate's domain.
+func (g *Gate) isendv(tag uint32, segs [][]byte) *SendReq {
 	if g.dead != nil {
 		req := &SendReq{gate: g, tag: tag}
 		req.complete(g.dead)
@@ -209,6 +214,11 @@ func (g *Gate) Irecv(tag uint32, buf []byte) *RecvReq {
 func (g *Gate) Irecvv(tag uint32, bufs [][]byte) *RecvReq {
 	g.dom.Lock()
 	defer g.dom.Unlock()
+	return g.irecvv(tag, bufs)
+}
+
+// irecvv is Irecvv's body; caller owns the gate's domain.
+func (g *Gate) irecvv(tag uint32, bufs [][]byte) *RecvReq {
 	msg := g.recvMsgID[tag]
 	g.recvMsgID[tag] = msg + 1
 	capacity := 0
@@ -249,6 +259,45 @@ func (g *Gate) Irecvv(tag uint32, bufs [][]byte) *RecvReq {
 		g.eng.failRecv(g, req, g.dead)
 	}
 	return req
+}
+
+// Ops is the domain-held view of a gate handed to Exec callbacks: request
+// submission primitives that assume the calling goroutine already owns the
+// gate's progress domain.
+type Ops struct{ g *Gate }
+
+// Gate returns the gate the Ops submit on.
+func (o Ops) Gate() *Gate { return o.g }
+
+// Isend submits a single-segment send; see Gate.Isend.
+func (o Ops) Isend(tag uint32, data []byte) *SendReq {
+	return o.g.isendv(tag, [][]byte{data})
+}
+
+// Isendv submits a multi-segment send; see Gate.Isendv.
+func (o Ops) Isendv(tag uint32, segs [][]byte) *SendReq { return o.g.isendv(tag, segs) }
+
+// Irecv posts a receive; see Gate.Irecv.
+func (o Ops) Irecv(tag uint32, buf []byte) *RecvReq {
+	return o.g.irecvv(tag, [][]byte{buf})
+}
+
+// Irecvv posts a scatter receive; see Gate.Irecvv.
+func (o Ops) Irecvv(tag uint32, bufs [][]byte) *RecvReq { return o.g.irecvv(tag, bufs) }
+
+// Exec runs fn owning the gate's progress domain without ever blocking the
+// caller: if the domain is free, fn runs immediately on this goroutine; if
+// it is busy (an application call or an event drain owns it), fn is
+// deferred to the current owner, who runs it before releasing.
+//
+// This is the submission path for code running inside completion callbacks
+// or driver events: such code already owns some gate's domain, and domain
+// locks are neither reentrant nor safe to acquire while holding another
+// (two callbacks taking two domains in opposite orders would deadlock).
+// Nonblocking collectives use Exec to fan follow-up rounds out across many
+// gates from whichever goroutine completed the previous round.
+func (g *Gate) Exec(fn func(Ops)) {
+	g.dom.Post(func() { fn(Ops{g}) })
 }
 
 // NewMessage starts an incremental multi-segment message (pack interface).

@@ -1,0 +1,35 @@
+package core
+
+// Tag-space reservation. The engine matches messages per (gate, tag) in
+// FIFO order, so any layer built on top of point-to-point traffic needs a
+// tag namespace that cannot collide with application tags. The top half of
+// the 32-bit tag space is reserved for such library-internal protocols;
+// higher layers (internal/mpl's collectives) compose tags from a protocol
+// class and a per-operation sequence number, giving every collective
+// operation — and every concurrently outstanding nonblocking collective —
+// its own matching channel.
+
+// MaxUserTag is the largest tag available to applications. Tags above it
+// are reserved for library-internal protocols and composed with
+// ReservedTag.
+const MaxUserTag uint32 = 0x7fffffff
+
+// reservedTagBit marks a tag as library-internal.
+const reservedTagBit uint32 = 0x80000000
+
+// ReservedSeqBits is the width of the sequence field of a reserved tag:
+// sequence numbers wrap modulo 1<<ReservedSeqBits.
+const ReservedSeqBits = 24
+
+// ReservedTag composes a library-internal tag from a protocol class
+// (7 bits; e.g. one value per collective operation kind) and a sequence
+// number distinguishing concurrent operations of that class. The sequence
+// is taken modulo 1<<ReservedSeqBits, so steadily incrementing counters
+// are safe: by the time a value recurs, the operation that used it last
+// has long completed.
+func ReservedTag(class uint8, seq uint32) uint32 {
+	return reservedTagBit | uint32(class&0x7f)<<ReservedSeqBits | seq&(1<<ReservedSeqBits-1)
+}
+
+// IsReservedTag reports whether tag lies in the library-internal space.
+func IsReservedTag(tag uint32) bool { return tag > MaxUserTag }

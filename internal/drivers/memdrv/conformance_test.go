@@ -1,0 +1,29 @@
+package memdrv
+
+import (
+	"testing"
+
+	"newmad/internal/core"
+	"newmad/internal/drivers/drvtest"
+)
+
+// TestDriverConformance runs the shared transmit-layer contract suite
+// against the in-memory loopback driver.
+func TestDriverConformance(t *testing.T) {
+	drvtest.Run(t, drvtest.Harness{
+		New: func(t *testing.T) drvtest.Pair {
+			a, b := Pair("conf", DefaultProfile())
+			return drvtest.Pair{
+				A: a,
+				B: b,
+				// The in-memory link cannot die on its own; the closest
+				// asynchronous failure is an injected SendFailed, which
+				// must be reported exactly once.
+				Break: func() {
+					a.FailNextSend()
+					_ = a.Send(&core.Packet{Hdr: core.Header{Kind: core.KData, MsgSegs: 1}})
+				},
+			}
+		},
+	})
+}

@@ -1,0 +1,28 @@
+package simdrv
+
+import (
+	"testing"
+
+	"newmad/internal/des"
+	"newmad/internal/drivers/drvtest"
+	"newmad/internal/simnet"
+)
+
+// TestDriverConformance runs the shared transmit-layer contract suite
+// against the simulated-NIC driver. The pump runs the discrete-event
+// world, which is what moves packets for this event-driven driver; the
+// simulated link has no asynchronous failure mode (a downed NIC drops
+// silently), so the RailDown case is skipped.
+func TestDriverConformance(t *testing.T) {
+	drvtest.Run(t, drvtest.Harness{
+		New: func(t *testing.T) drvtest.Pair {
+			w := des.NewWorld()
+			ha := simnet.NewHost(w, "A", simnet.Opteron())
+			hb := simnet.NewHost(w, "B", simnet.Opteron())
+			na := ha.NewNIC(simnet.Myri10G())
+			nb := hb.NewNIC(simnet.Myri10G())
+			simnet.Connect(na, nb)
+			return drvtest.Pair{A: New(na), B: New(nb), Pump: w.Run}
+		},
+	})
+}

@@ -6,17 +6,22 @@
 package simdrv
 
 import (
+	"errors"
 	"fmt"
 
 	"newmad/internal/core"
 	"newmad/internal/simnet"
 )
 
+// ErrClosed reports a send on a closed driver.
+var ErrClosed = errors.New("simdrv: closed")
+
 // Driver is one rail backed by a simulated NIC.
 type Driver struct {
-	nic  *simnet.NIC
-	rail int
-	ev   core.Events
+	nic    *simnet.NIC
+	rail   int
+	ev     core.Events
+	closed bool
 }
 
 // New wraps nic as a Driver. Bind must be called (by Gate.AddRail) before
@@ -59,6 +64,9 @@ func (d *Driver) Bind(rail int, ev core.Events) {
 
 // Send implements core.Driver.
 func (d *Driver) Send(p *core.Packet) error {
+	if d.closed {
+		return fmt.Errorf("%w: %s", core.ErrRailDown, ErrClosed)
+	}
 	buf := p.Marshal()
 	err := d.nic.Send(len(buf), buf, func() { d.ev.SendComplete(d.rail) })
 	if err != nil {
@@ -75,8 +83,13 @@ func (d *Driver) NeedsPoll() bool { return false }
 // a no-op.
 func (d *Driver) Poll() {}
 
-// Close implements core.Driver.
-func (d *Driver) Close() error { return nil }
+// Close implements core.Driver: later sends are refused. Idempotent. The
+// simulated world is shared with other NICs, so nothing is torn down;
+// packets already in flight still arrive at the peer.
+func (d *Driver) Close() error {
+	d.closed = true
+	return nil
+}
 
 // NIC returns the underlying simulated NIC (for tests and fault
 // injection).

@@ -1,0 +1,43 @@
+package tcpdrv
+
+import (
+	"net"
+	"testing"
+
+	"newmad/internal/drivers/drvtest"
+)
+
+// TestDriverConformance runs the shared transmit-layer contract suite
+// against real loopback TCP rails. Breaking the link closes the remote
+// end, which the local reader observes as EOF and Poll must report as
+// RailDown exactly once.
+func TestDriverConformance(t *testing.T) {
+	drvtest.Run(t, drvtest.Harness{
+		New: func(t *testing.T) drvtest.Pair {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			type accepted struct {
+				d   *Driver
+				err error
+			}
+			ch := make(chan accepted, 1)
+			go func() {
+				d, err := Accept(l, Options{})
+				ch <- accepted{d, err}
+			}()
+			a, err := Dial(l.Addr().String(), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc := <-ch
+			if acc.err != nil {
+				t.Fatal(acc.err)
+			}
+			b := acc.d
+			return drvtest.Pair{A: a, B: b, Break: func() { _ = b.Close() }}
+		},
+	})
+}

@@ -1,0 +1,245 @@
+package mpl
+
+import (
+	"sync"
+
+	"newmad/internal/core"
+)
+
+// This file is the nonblocking collective engine. A collective is compiled
+// into a schedule of stages; each stage's point-to-point posts are issued
+// concurrently (possibly on many gates, so the per-gate progress domains
+// work in parallel), and the next stage is issued from whichever goroutine
+// completes the last request of the current one. No goroutine is ever
+// parked and no extra goroutines are spawned, so the same engine runs
+// unchanged under the discrete-event simulation (where completions fire in
+// kernel event context) and on real rails (where they fire on driver or
+// waiter goroutines).
+//
+// All follow-up posts go through core.Gate.Exec, the non-blocking
+// domain-entry path: completion callbacks run while owning the completing
+// gate's progress domain, and acquiring another gate's domain lock from
+// there could deadlock two callbacks taking two domains in opposite
+// orders.
+
+// post describes one point-to-point operation within a stage.
+type post struct {
+	peer int
+	send bool
+	data []byte // payload to send, or the receive destination
+}
+
+// stage is one dependency level of a collective schedule: its posts are
+// issued concurrently, the stage completes when all of them have, and
+// after (optional) then runs — the combine/copy hook — before the next
+// stage is issued. A stage with no posts is a pure compute step.
+type stage struct {
+	posts []post
+	after func()
+}
+
+// Coll is an in-flight collective operation. It implements core.Request,
+// so it can be waited on exactly like a point-to-point request (Engine.Wait,
+// bench.WaitReqs, or a Comm's Waiter); Wait and Test are the conventional
+// MPI-style conveniences on top.
+type Coll struct {
+	comm *Comm
+	tag  uint32
+
+	mu      sync.Mutex
+	stages  []stage
+	idx     int
+	pending int
+	afterFn func()
+	done    bool
+	err     error
+	cbs     []func()
+	doneCh  chan struct{}
+}
+
+// startColl launches the schedule and returns its handle.
+func (c *Comm) startColl(tag uint32, stages []stage) *Coll {
+	co := &Coll{comm: c, tag: tag, stages: stages}
+	co.schedule()
+	return co
+}
+
+// schedule issues stages until one has requests still in flight (the last
+// completion callback re-enters here) or the schedule is exhausted. Called
+// without co.mu; may run on an application goroutine or from a completion
+// callback that owns a gate domain — it only submits through Exec, which
+// never blocks.
+func (co *Coll) schedule() {
+	for {
+		co.mu.Lock()
+		if co.done {
+			co.mu.Unlock()
+			return
+		}
+		if co.idx >= len(co.stages) {
+			co.mu.Unlock()
+			co.finish(nil)
+			return
+		}
+		st := co.stages[co.idx]
+		co.idx++
+		if len(st.posts) == 0 {
+			co.mu.Unlock()
+			if st.after != nil {
+				st.after()
+			}
+			continue
+		}
+		// The +1 is a posting hold: requests posted below may complete
+		// synchronously (in-memory rails), and the hold keeps the stage
+		// from advancing out from under the posting loop.
+		co.pending = len(st.posts) + 1
+		co.afterFn = st.after
+		co.mu.Unlock()
+		for _, p := range st.posts {
+			p := p
+			g := co.comm.gate(p.peer)
+			g.Exec(func(ops core.Ops) {
+				if co.Done() {
+					// A sibling post of this stage already failed the
+					// collective (e.g. a dead gate completing its send
+					// synchronously): don't orphan requests on the
+					// healthy gates.
+					return
+				}
+				var req core.Request
+				if p.send {
+					req = ops.Isend(co.tag, p.data)
+				} else {
+					req = ops.Irecv(co.tag, p.data)
+				}
+				req.OnComplete(func() { co.reqDone(req) })
+			})
+		}
+		if !co.release() {
+			return
+		}
+	}
+}
+
+// release drops one pending credit. When the stage's count reaches zero it
+// runs the after hook and reports true: the caller advances the schedule.
+func (co *Coll) release() bool {
+	co.mu.Lock()
+	if co.done {
+		co.mu.Unlock()
+		return false
+	}
+	co.pending--
+	if co.pending > 0 {
+		co.mu.Unlock()
+		return false
+	}
+	after := co.afterFn
+	co.afterFn = nil
+	co.mu.Unlock()
+	if after != nil {
+		after()
+	}
+	return true
+}
+
+// reqDone is the completion callback of every request the schedule posts.
+func (co *Coll) reqDone(req core.Request) {
+	if err := req.Err(); err != nil {
+		co.finish(err)
+		return
+	}
+	if co.release() {
+		co.schedule()
+	}
+}
+
+// finish completes the collective. Idempotent; late completions of an
+// errored stage find done set and stand down, and unposted siblings of
+// the failing request are skipped. Requests already posted when the
+// error struck stay outstanding on their gates — there is no receive
+// cancellation — which is acceptable because a failed collective means a
+// peer is unreachable and the communicator is done for.
+func (co *Coll) finish(err error) {
+	co.mu.Lock()
+	if co.done {
+		co.mu.Unlock()
+		return
+	}
+	co.done = true
+	co.err = err
+	cbs := co.cbs
+	co.cbs = nil
+	if co.doneCh != nil {
+		close(co.doneCh)
+	}
+	co.mu.Unlock()
+	for _, fn := range cbs {
+		fn()
+	}
+}
+
+// Done implements core.Request.
+func (co *Coll) Done() bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.done
+}
+
+// Err implements core.Request: the first request error of the schedule,
+// nil while in flight and on success.
+func (co *Coll) Err() error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.err
+}
+
+// OnComplete implements core.Request.
+func (co *Coll) OnComplete(fn func()) {
+	co.mu.Lock()
+	if co.done {
+		co.mu.Unlock()
+		fn()
+		return
+	}
+	co.cbs = append(co.cbs, fn)
+	co.mu.Unlock()
+}
+
+// Completion implements core.Request.
+func (co *Coll) Completion() <-chan struct{} {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.doneCh == nil {
+		co.doneCh = make(chan struct{})
+		if co.done {
+			close(co.doneCh)
+		}
+	}
+	return co.doneCh
+}
+
+// Wait blocks (through the communicator's waiter, so it parks in virtual
+// time under simulation) until the collective completes and returns its
+// error.
+func (co *Coll) Wait() error {
+	co.comm.wait(co)
+	return co.Err()
+}
+
+// Test reports whether the collective has completed, making one
+// non-blocking progress pass over the engine's pollable rails first. On
+// fully event-driven platforms progress is made by the completing events
+// themselves; under the discrete-event simulation a spinning Test never
+// advances virtual time, so simulated processes should Wait (or sleep
+// between Tests) instead.
+func (co *Coll) Test() bool {
+	if co.Done() {
+		return true
+	}
+	co.comm.eng.Poll()
+	return co.Done()
+}
+
+var _ core.Request = (*Coll)(nil)

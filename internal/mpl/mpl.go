@@ -1,13 +1,16 @@
-// Package mpl is a minimal message-passing layer on top of the engine —
-// the direction the paper's §4 sketches (updating MPICH-Madeleine to use
+// Package mpl is a message-passing layer on top of the engine — the
+// direction the paper's §4 sketches (updating MPICH-Madeleine to use
 // NewMadeleine's multi-rail capabilities). It provides ranked
-// communicators with blocking point-to-point operations and a few
-// collectives, independent of whether the rails are simulated or real.
+// communicators with blocking point-to-point operations and a full
+// collectives subsystem — blocking and nonblocking, with size-aware
+// algorithm selection — independent of whether the rails are simulated or
+// real.
 package mpl
 
 import (
-	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"newmad/internal/core"
 )
@@ -24,17 +27,21 @@ type Comm struct {
 	rank  int
 	gates []*core.Gate // indexed by rank; nil at our own rank
 	wait  Waiter
+
+	// collSeq numbers collective operations; every rank must start
+	// collectives on a communicator in the same order, so the counters
+	// stay in lockstep and each operation gets the same reserved tag on
+	// every rank (see core.ReservedTag).
+	collSeq atomic.Uint32
+
+	selMu sync.RWMutex
+	sel   Selector
 }
 
-// collective tags live in a reserved namespace above user tags.
-const (
-	tagBarrier = 0xffff0001
-	tagBcast   = 0xffff0002
-	tagReduce  = 0xffff0003
-)
-
-// MaxUserTag is the largest tag available to applications.
-const MaxUserTag = 0xfffeffff
+// MaxUserTag is the largest tag available to applications; larger values
+// belong to the engine's reserved namespace, which the collectives use
+// for their per-operation matching channels.
+const MaxUserTag = core.MaxUserTag
 
 // New creates a communicator. gates[r] must reach rank r and must be nil
 // exactly at index rank.
@@ -57,7 +64,51 @@ func New(eng *core.Engine, rank int, gates []*core.Gate, wait Waiter) (*Comm, er
 			}
 		}
 	}
-	return &Comm{eng: eng, rank: rank, gates: gates, wait: wait}, nil
+	c := &Comm{eng: eng, rank: rank, gates: gates, wait: wait}
+	c.sel = DefaultSelector()
+	return c, nil
+}
+
+// SetSelector installs the collective algorithm selector. All ranks must
+// install equivalent selectors: algorithm choice is computed locally from
+// (ranks, bytes) and the schedules of different algorithms do not
+// interoperate.
+func (c *Comm) SetSelector(s Selector) {
+	c.selMu.Lock()
+	c.sel = s
+	c.selMu.Unlock()
+}
+
+// Selector returns the current algorithm selector.
+func (c *Comm) Selector() Selector {
+	c.selMu.RLock()
+	defer c.selMu.RUnlock()
+	return c.sel
+}
+
+// SeedSelector derives the selector thresholds from the rail profiles of
+// this communicator's gates (declared by drivers, or measured by
+// internal/sampling when the platform was sampled at initialization) and
+// installs the result. It returns the installed selector.
+//
+// Selection must agree on every rank. SeedSelector is safe when every
+// rank sees identical profiles (declared driver models on a homogeneous
+// fabric); with independently sampled per-rank figures, seed on one rank
+// and distribute the selector instead (bench.Cluster does exactly this).
+func (c *Comm) SeedSelector() Selector {
+	var profs []core.Profile
+	for r, g := range c.gates {
+		if r == c.rank {
+			continue
+		}
+		for _, rail := range g.Rails() {
+			profs = append(profs, rail.Profile())
+		}
+		break // rails are symmetric across peers; one gate is enough
+	}
+	s := SelectorFromProfiles(profs)
+	c.SetSelector(s)
+	return s
 }
 
 // Rank returns this process's rank.
@@ -122,58 +173,9 @@ func (c *Comm) SendRecv(dst int, sendTag uint32, send []byte, src int, recvTag u
 	return rr.Len()
 }
 
-// Barrier blocks until every rank has entered it. Linear algorithm:
-// everyone pings rank 0, rank 0 answers everyone.
-func (c *Comm) Barrier() {
-	var b [1]byte
-	if c.rank == 0 {
-		for r := 1; r < c.Size(); r++ {
-			c.wait(c.gate(r).Irecv(tagBarrier, b[:]))
-		}
-		reqs := make([]core.Request, 0, c.Size()-1)
-		for r := 1; r < c.Size(); r++ {
-			reqs = append(reqs, c.gate(r).Isend(tagBarrier, b[:]))
-		}
-		c.wait(reqs...)
-		return
-	}
-	c.wait(c.gate(0).Isend(tagBarrier, b[:]))
-	c.wait(c.gate(0).Irecv(tagBarrier, b[:]))
-}
-
-// Bcast broadcasts root's buf to every rank (linear fan-out from root).
-func (c *Comm) Bcast(root int, buf []byte) {
-	if c.rank == root {
-		reqs := make([]core.Request, 0, c.Size()-1)
-		for r := 0; r < c.Size(); r++ {
-			if r == root {
-				continue
-			}
-			reqs = append(reqs, c.gate(r).Isend(tagBcast, buf))
-		}
-		c.wait(reqs...)
-		return
-	}
-	c.wait(c.gate(root).Irecv(tagBcast, buf))
-}
-
-// AllSumInt64 returns the sum of every rank's contribution (reduce to
-// rank 0, then broadcast).
-func (c *Comm) AllSumInt64(v int64) int64 {
-	var b [8]byte
-	if c.rank == 0 {
-		sum := v
-		for r := 1; r < c.Size(); r++ {
-			c.wait(c.gate(r).Irecv(tagReduce, b[:]))
-			sum += int64(binary.LittleEndian.Uint64(b[:]))
-		}
-		binary.LittleEndian.PutUint64(b[:], uint64(sum))
-		c.Bcast(0, b[:])
-		return sum
-	}
-	var sb [8]byte
-	binary.LittleEndian.PutUint64(sb[:], uint64(v))
-	c.wait(c.gate(0).Isend(tagReduce, sb[:]))
-	c.Bcast(0, b[:])
-	return int64(binary.LittleEndian.Uint64(b[:]))
+// collTag reserves the matching channel for one collective operation:
+// the operation's protocol class plus this communicator's next collective
+// sequence number (see Comm.collSeq).
+func (c *Comm) collTag(class uint8) uint32 {
+	return core.ReservedTag(class, c.collSeq.Add(1)-1)
 }

@@ -1,0 +1,210 @@
+package mpl
+
+import (
+	"fmt"
+	"time"
+
+	"newmad/internal/core"
+	"newmad/internal/sampling"
+)
+
+// Algo names a collective algorithm family.
+type Algo uint8
+
+// Collective algorithm families. Not every operation implements every
+// family; the per-operation planners map an inapplicable choice to the
+// nearest applicable one (e.g. a forced pipeline Barrier runs the tree).
+const (
+	// AlgoAuto lets the selector choose per message size and rank count.
+	AlgoAuto Algo = iota
+	// AlgoLinear is the flat algorithm rooted at one rank: a single
+	// fan-in/fan-out stage. Cheapest for two ranks and the baseline the
+	// tree algorithms are measured against.
+	AlgoLinear
+	// AlgoTree is the log-depth family: binomial trees for rooted
+	// operations, dissemination rounds for Barrier.
+	AlgoTree
+	// AlgoPipeline is the bandwidth-bound family: chunked chain for
+	// Bcast, ring reduce-scatter + allgather for Allreduce, ring for
+	// Allgather, pairwise exchange rounds for Alltoall.
+	AlgoPipeline
+)
+
+// String implements fmt.Stringer.
+func (a Algo) String() string {
+	switch a {
+	case AlgoAuto:
+		return "auto"
+	case AlgoLinear:
+		return "linear"
+	case AlgoTree:
+		return "tree"
+	case AlgoPipeline:
+		return "pipeline"
+	default:
+		return fmt.Sprintf("Algo(%d)", uint8(a))
+	}
+}
+
+// ParseAlgo parses an algorithm name ("auto", "linear", "tree",
+// "pipeline").
+func ParseAlgo(s string) (Algo, error) {
+	switch s {
+	case "auto", "":
+		return AlgoAuto, nil
+	case "linear":
+		return AlgoLinear, nil
+	case "tree":
+		return AlgoTree, nil
+	case "pipeline":
+		return AlgoPipeline, nil
+	default:
+		return AlgoAuto, fmt.Errorf("mpl: unknown collective algorithm %q (have auto, linear, tree, pipeline)", s)
+	}
+}
+
+// Selector chooses the algorithm for each collective from the message
+// size and rank count, splitting the size axis into three regimes:
+//
+//   - latency-bound (<= SmallMax): linear. Posting a send costs far less
+//     than a network hop on the modeled fabrics, so a root fanning out
+//     N-1 cheap sends beats log2(N) full round trips while N stays below
+//     FanoutMaxRanks.
+//   - bandwidth-bound (>= PipeMin): pipelined/chunked. One traversal of
+//     the data plus a startup ramp; the root pushes each byte once
+//     instead of log2(N) times.
+//   - in between: binomial tree — log depth without pipeline startup.
+//
+// Seed the thresholds from measurements with SelectorFromFit /
+// SelectorFromProfiles (or Comm.SeedSelector), or keep the static
+// defaults.
+type Selector struct {
+	// Force, when not AlgoAuto, overrides the choice for every
+	// operation (mapped to the nearest applicable family).
+	Force Algo
+	// SmallMax is the largest total payload considered latency-bound.
+	SmallMax int
+	// PipeMin is the smallest total payload routed to the pipelined
+	// (chunked / ring) algorithms where the operation has one.
+	PipeMin int
+	// Chunk is the pipeline chunk size for the chained Bcast.
+	Chunk int
+	// FanoutMaxRanks bounds the linear small-message regime: beyond this
+	// many ranks the O(N) fan-out overtakes log2(N) hops even for tiny
+	// payloads (0 uses the default of 32).
+	FanoutMaxRanks int
+}
+
+// DefaultSelector returns the static thresholds: sane for the paper's
+// high-speed interconnects and conservative for TCP.
+func DefaultSelector() Selector {
+	return Selector{SmallMax: 16 << 10, PipeMin: 512 << 10, Chunk: 64 << 10, FanoutMaxRanks: 32}
+}
+
+// SelectorFromFit derives thresholds from a sampled latency/bandwidth
+// model (internal/sampling): the crossover sizes scale with the rail's
+// bandwidth-delay product, clamped to sane bounds.
+func SelectorFromFit(f sampling.Fit) Selector {
+	return selectorFromModel(f.Latency, f.Bandwidth)
+}
+
+// SelectorFromProfiles derives thresholds from rail profiles (declared by
+// drivers or installed by init-time sampling): the rails of one gate act
+// in parallel, so bandwidths add and the smallest latency wins.
+func SelectorFromProfiles(profs []core.Profile) Selector {
+	var bw float64
+	var lat time.Duration
+	for _, p := range profs {
+		bw += p.Bandwidth
+		if lat == 0 || (p.Latency > 0 && p.Latency < lat) {
+			lat = p.Latency
+		}
+	}
+	return selectorFromModel(lat, bw)
+}
+
+func selectorFromModel(lat time.Duration, bw float64) Selector {
+	s := DefaultSelector()
+	if lat <= 0 || bw <= 0 {
+		return s
+	}
+	bdp := int(bw * lat.Seconds()) // bytes in flight per hop
+	s.SmallMax = clamp(4*bdp, 4<<10, 256<<10)
+	s.PipeMin = clamp(32*bdp, 64<<10, 8<<20)
+	s.Chunk = clamp(8*bdp, 16<<10, 1<<20)
+	return s
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// pick is the generic rooted-operation policy (Bcast, Gather, Reduce,
+// Allreduce, Allgather): linear while latency-bound (cheap sends, modest
+// rank counts), pipelined once bandwidth-bound (for operations that have
+// one), binomial trees in between and at scale.
+func (s Selector) pick(ranks, bytes int, pipelined bool) Algo {
+	if a := s.forced(pipelined); a != AlgoAuto {
+		return a
+	}
+	if ranks <= 2 {
+		return AlgoLinear
+	}
+	fanout := s.FanoutMaxRanks
+	if fanout <= 0 {
+		fanout = 32
+	}
+	if bytes <= s.SmallMax && ranks <= fanout {
+		return AlgoLinear
+	}
+	if pipelined && bytes >= s.PipeMin {
+		return AlgoPipeline
+	}
+	return AlgoTree
+}
+
+// alltoall is the Alltoall policy: every rank sends to every other rank
+// regardless of algorithm, so the choice is between posting everything at
+// once (small blocks: one stage keeps every gate busy) and pairwise
+// exchange rounds (large blocks: bounds rendezvous concurrency and memory
+// pressure).
+func (s Selector) alltoall(ranks, block int) Algo {
+	if a := s.forced(true); a != AlgoAuto {
+		if a == AlgoTree {
+			a = AlgoPipeline // no tree alltoall; pairwise is the structured variant
+		}
+		return a
+	}
+	if ranks <= 2 || block <= s.SmallMax {
+		return AlgoLinear
+	}
+	return AlgoPipeline
+}
+
+// barrier is the Barrier policy: dissemination rounds beat the linear
+// gather/release beyond two ranks; there is nothing to pipeline.
+func (s Selector) barrier(ranks int) Algo {
+	if a := s.forced(false); a != AlgoAuto {
+		return a
+	}
+	if ranks <= 2 {
+		return AlgoLinear
+	}
+	return AlgoTree
+}
+
+// forced resolves the Force override, mapping pipeline onto tree for
+// operations without a pipelined variant.
+func (s Selector) forced(pipelined bool) Algo {
+	a := s.Force
+	if a == AlgoPipeline && !pipelined {
+		a = AlgoTree
+	}
+	return a
+}

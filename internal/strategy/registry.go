@@ -9,7 +9,7 @@ import (
 
 // New builds a strategy by name, as used by the command-line tools:
 // "fifo", "aggreg" (both pinned to rail 0), "balance", "aggrail",
-// "split", "split-iso".
+// "split", "split-iso", "split-dyn".
 func New(name string) (core.Strategy, error) {
 	switch name {
 	case "fifo":

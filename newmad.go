@@ -168,8 +168,54 @@ type SimClusterConfig = bench.ClusterConfig
 func NewSimCluster(cfg SimClusterConfig) *SimCluster { return bench.NewCluster(cfg) }
 
 // Comm is a ranked communicator over the engine (internal/mpl): blocking
-// point-to-point operations plus Barrier, Bcast and AllSumInt64.
+// point-to-point operations plus the collectives subsystem — Barrier,
+// Bcast, Gather, Scatter, Reduce, Allreduce, Allgather, Alltoall and
+// their nonblocking I* variants returning a Coll handle.
 type Comm = mpl.Comm
+
+// Coll is an in-flight nonblocking collective: a Request with Wait/Test
+// conveniences. Several may be outstanding at once, each driving its
+// gates through their own progress domains.
+type Coll = mpl.Coll
+
+// CollAlgo names a collective algorithm family.
+type CollAlgo = mpl.Algo
+
+// Collective algorithm families for CollSelector.Force and ParseCollAlgo.
+const (
+	CollAuto     = mpl.AlgoAuto
+	CollLinear   = mpl.AlgoLinear
+	CollTree     = mpl.AlgoTree
+	CollPipeline = mpl.AlgoPipeline
+)
+
+// CollSelector picks the collective algorithm per message size and rank
+// count (linear fan-out / binomial tree / chunked pipeline).
+type CollSelector = mpl.Selector
+
+// ReduceOp is an elementwise reduction operator for Reduce/Allreduce.
+type ReduceOp = mpl.Op
+
+// OpSumInt64 sums little-endian int64 elements.
+func OpSumInt64() ReduceOp { return mpl.OpSumInt64() }
+
+// OpSumUint8 sums bytes modulo 256.
+func OpSumUint8() ReduceOp { return mpl.OpSumUint8() }
+
+// OpXor xors bytes.
+func OpXor() ReduceOp { return mpl.OpXor() }
+
+// DefaultCollSelector returns the static algorithm-selection thresholds.
+func DefaultCollSelector() CollSelector { return mpl.DefaultSelector() }
+
+// CollSelectorFromProfiles derives selection thresholds from rail
+// profiles (declared by drivers or measured by sampling).
+func CollSelectorFromProfiles(profs []Profile) CollSelector {
+	return mpl.SelectorFromProfiles(profs)
+}
+
+// ParseCollAlgo parses "auto", "linear", "tree" or "pipeline".
+func ParseCollAlgo(s string) (CollAlgo, error) { return mpl.ParseAlgo(s) }
 
 // WaitSim parks a simulated process until the requests complete.
 func WaitSim(p *Proc, reqs ...Request) { bench.WaitReqs(p, reqs...) }
