@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,13 +37,14 @@ type plan struct {
 
 func main() {
 	var (
-		serve    = flag.String("serve", "", "control address to serve a session on (server)")
-		rails    = flag.Int("rails", 2, "rails to offer (server)")
-		connect  = flag.String("connect", "", "control address to connect to (client)")
-		stratArg = flag.String("strategy", "split", "strategy name (fifo, aggreg, balance, aggrail, split, split-iso, split-dyn)")
-		sizesArg = flag.String("sizes", "64,4096,65536,1048576", "comma-separated message sizes in bytes")
-		segs     = flag.Int("segs", 2, "segments per message")
-		iters    = flag.Int("iters", 50, "iterations per size")
+		serve     = flag.String("serve", "", "control address to serve a session on (server)")
+		rails     = flag.Int("rails", 2, "rails to offer (server)")
+		connect   = flag.String("connect", "", "control address to connect to (client)")
+		stratArg  = flag.String("strategy", "split", "strategy name (fifo, aggreg, balance, aggrail, split, split-iso, split-dyn)")
+		sizesArg  = flag.String("sizes", "64,4096,65536,1048576", "comma-separated message sizes in bytes")
+		segs      = flag.Int("segs", 2, "segments per message")
+		iters     = flag.Int("iters", 50, "iterations per size")
+		handshake = flag.Duration("handshake-timeout", 30*time.Second, "session handshake timeout")
 	)
 	flag.Parse()
 	if (*serve == "") == (*connect == "") {
@@ -51,9 +53,9 @@ func main() {
 	}
 	var err error
 	if *serve != "" {
-		err = runServer(*serve, *rails, *stratArg)
+		err = runServer(*serve, *rails, *stratArg, *handshake)
 	} else {
-		err = runClient(*connect, *stratArg, *sizesArg, *segs, *iters)
+		err = runClient(*connect, *stratArg, *sizesArg, *segs, *iters, *handshake)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nmad-pingpong:", err)
@@ -69,7 +71,8 @@ func engine(stratName string) (*newmad.Engine, error) {
 	return newmad.New(newmad.Config{Strategy: strat}), nil
 }
 
-func runServer(ctrlAddr string, rails int, stratName string) error {
+func runServer(ctrlAddr string, rails int, stratName string, handshake time.Duration) error {
+	ctx := context.Background()
 	eng, err := engine(stratName)
 	if err != nil {
 		return err
@@ -82,13 +85,14 @@ func runServer(ctrlAddr string, rails int, stratName string) error {
 			Profile: newmad.Profile{Name: fmt.Sprintf("tcp%d", i)},
 		}
 	}
-	srv, err := newmad.ListenSession(eng, "pingpong-server", ctrlAddr, specs)
+	srv, err := newmad.ListenSession(ctx, eng, "pingpong-server", ctrlAddr, specs,
+		newmad.SessionOptions{HandshakeTimeout: handshake})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	fmt.Printf("serving on %s, offering %d rail(s)\n", srv.ControlAddr(), rails)
-	gate, peer, err := srv.Accept()
+	gate, peer, err := srv.Accept(ctx)
 	if err != nil {
 		return err
 	}
@@ -130,7 +134,7 @@ func runServer(ctrlAddr string, rails int, stratName string) error {
 	return nil
 }
 
-func runClient(ctrlAddr, stratName, sizesArg string, segs, iters int) error {
+func runClient(ctrlAddr, stratName, sizesArg string, segs, iters int, handshake time.Duration) error {
 	eng, err := engine(stratName)
 	if err != nil {
 		return err
@@ -140,7 +144,8 @@ func runClient(ctrlAddr, stratName, sizesArg string, segs, iters int) error {
 	if err != nil {
 		return err
 	}
-	gate, srvName, err := newmad.ConnectSession(eng, "pingpong-client", ctrlAddr)
+	gate, srvName, err := newmad.ConnectSession(context.Background(), eng, "pingpong-client", ctrlAddr,
+		newmad.SessionOptions{HandshakeTimeout: handshake})
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,13 +19,14 @@ import (
 
 func main() {
 	var (
-		recvAddr = flag.String("recv", "", "control address to receive on (server)")
-		sendAddr = flag.String("send", "", "control address to send to (client)")
-		inFile   = flag.String("i", "", "file to send")
-		outFile  = flag.String("o", "", "file to write")
-		rails    = flag.Int("rails", 2, "rails to offer (receiver)")
-		chunkKB  = flag.Int("chunk", 4096, "chunk size in KiB")
-		strat    = flag.String("strategy", "split", "scheduling strategy")
+		recvAddr  = flag.String("recv", "", "control address to receive on (server)")
+		sendAddr  = flag.String("send", "", "control address to send to (client)")
+		inFile    = flag.String("i", "", "file to send")
+		outFile   = flag.String("o", "", "file to write")
+		rails     = flag.Int("rails", 2, "rails to offer (receiver)")
+		chunkKB   = flag.Int("chunk", 4096, "chunk size in KiB")
+		strat     = flag.String("strategy", "split", "scheduling strategy")
+		handshake = flag.Duration("handshake-timeout", 30*time.Second, "session handshake timeout")
 	)
 	flag.Parse()
 	if (*recvAddr == "") == (*sendAddr == "") {
@@ -33,9 +35,9 @@ func main() {
 	}
 	var err error
 	if *recvAddr != "" {
-		err = runRecv(*recvAddr, *outFile, *rails, *strat, *chunkKB)
+		err = runRecv(*recvAddr, *outFile, *rails, *strat, *chunkKB, *handshake)
 	} else {
-		err = runSend(*sendAddr, *inFile, *strat, *chunkKB)
+		err = runSend(*sendAddr, *inFile, *strat, *chunkKB, *handshake)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nmad-xfer:", err)
@@ -51,7 +53,7 @@ func engine(strat string) (*newmad.Engine, error) {
 	return newmad.New(newmad.Config{Strategy: s}), nil
 }
 
-func runRecv(ctrlAddr, outFile string, rails int, strat string, chunkKB int) error {
+func runRecv(ctrlAddr, outFile string, rails int, strat string, chunkKB int, handshake time.Duration) error {
 	if outFile == "" {
 		return fmt.Errorf("-o is required with -recv")
 	}
@@ -64,13 +66,14 @@ func runRecv(ctrlAddr, outFile string, rails int, strat string, chunkKB int) err
 	for i := range specs {
 		specs[i] = newmad.RailSpec{Addr: "0.0.0.0:0", Profile: newmad.Profile{Name: fmt.Sprintf("tcp%d", i)}}
 	}
-	srv, err := newmad.ListenSession(eng, "xfer-recv", ctrlAddr, specs)
+	srv, err := newmad.ListenSession(context.Background(), eng, "xfer-recv", ctrlAddr, specs,
+		newmad.SessionOptions{HandshakeTimeout: handshake})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	fmt.Printf("receiving on %s (%d rails)\n", srv.ControlAddr(), rails)
-	gate, peer, err := srv.Accept()
+	gate, peer, err := srv.Accept(context.Background())
 	if err != nil {
 		return err
 	}
@@ -94,7 +97,7 @@ func runRecv(ctrlAddr, outFile string, rails int, strat string, chunkKB int) err
 	return f.Sync()
 }
 
-func runSend(ctrlAddr, inFile, strat string, chunkKB int) error {
+func runSend(ctrlAddr, inFile, strat string, chunkKB int, handshake time.Duration) error {
 	if inFile == "" {
 		return fmt.Errorf("-i is required with -send")
 	}
@@ -112,7 +115,8 @@ func runSend(ctrlAddr, inFile, strat string, chunkKB int) error {
 	if err != nil {
 		return err
 	}
-	gate, peer, err := newmad.ConnectSession(eng, "xfer-send", ctrlAddr)
+	gate, peer, err := newmad.ConnectSession(context.Background(), eng, "xfer-send", ctrlAddr,
+		newmad.SessionOptions{HandshakeTimeout: handshake})
 	if err != nil {
 		return err
 	}

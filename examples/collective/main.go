@@ -90,17 +90,22 @@ func runOnce(ranks int, algo newmad.CollAlgo) map[string]float64 {
 		results[name] = us
 	}
 
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
 	cluster.SpawnRanks(func(p *newmad.Proc, comm *newmad.Comm) {
 		sel := comm.Selector() // seeded from the sampled rail profiles
 		sel.Force = algo
 		comm.SetSelector(sel)
 
 		// Barrier latency (averaged over a few rounds).
-		comm.Barrier() // warm up connections
+		must(comm.Barrier()) // warm up connections
 		start := p.Now()
 		const rounds = 10
 		for i := 0; i < rounds; i++ {
-			comm.Barrier()
+			must(comm.Barrier())
 		}
 		if comm.Rank() == 0 {
 			record("barrier", float64(p.Now()-start)/rounds/1e3)
@@ -114,10 +119,10 @@ func runOnce(ranks int, algo newmad.CollAlgo) map[string]float64 {
 					buf[i] = byte(i)
 				}
 			}
-			comm.Barrier()
+			must(comm.Barrier())
 			start := p.Now()
-			comm.Bcast(0, buf)
-			comm.Barrier()
+			must(comm.Bcast(0, buf))
+			must(comm.Barrier())
 			for i := range buf {
 				if buf[i] != byte(i) {
 					panic("broadcast corrupted")
@@ -132,17 +137,20 @@ func runOnce(ranks int, algo newmad.CollAlgo) map[string]float64 {
 		for _, size := range []int{1 << 10, 1 << 20} {
 			send := make([]byte, size)
 			recv := make([]byte, size)
-			comm.Barrier()
+			must(comm.Barrier())
 			start := p.Now()
-			comm.Allreduce(send, recv, newmad.OpSumInt64())
-			comm.Barrier()
+			must(comm.Allreduce(send, recv, newmad.OpSumInt64()))
+			must(comm.Barrier())
 			if comm.Rank() == 0 {
 				record(fmt.Sprintf("allreduce %5d KiB", size>>10), float64(p.Now()-start)/1e3)
 			}
 		}
 
 		// AllSumInt64 sanity.
-		sum := comm.AllSumInt64(int64(comm.Rank() + 1))
+		sum, err := comm.AllSumInt64(int64(comm.Rank() + 1))
+		if err != nil {
+			panic(err)
+		}
 		if sum != int64(ranks)*int64(ranks+1)/2 {
 			panic("allreduce wrong sum")
 		}
@@ -151,10 +159,10 @@ func runOnce(ranks int, algo newmad.CollAlgo) map[string]float64 {
 		const block = 8 << 10
 		a2aSend := make([]byte, block*ranks)
 		a2aRecv := make([]byte, block*ranks)
-		comm.Barrier()
+		must(comm.Barrier())
 		start = p.Now()
-		comm.Alltoall(a2aSend, a2aRecv)
-		comm.Barrier()
+		must(comm.Alltoall(a2aSend, a2aRecv))
+		must(comm.Barrier())
 		if comm.Rank() == 0 {
 			record("alltoall 8 KiB/blk", float64(p.Now()-start)/1e3)
 		}
@@ -164,21 +172,23 @@ func runOnce(ranks int, algo newmad.CollAlgo) map[string]float64 {
 		send := make([]byte, 64<<10)
 		recv := make([]byte, 64<<10)
 		ag := make([]byte, 1<<10*ranks)
-		comm.Barrier()
+		must(comm.Barrier())
 		start = p.Now()
 		co1 := comm.IAllreduce(send, recv, newmad.OpSumInt64())
 		co2 := comm.IAllgather(make([]byte, 1<<10), ag)
 		right, left := (comm.Rank()+1)%ranks, (comm.Rank()-1+ranks)%ranks
 		haloOut := make([]byte, 4<<10)
 		haloIn := make([]byte, 4<<10)
-		comm.SendRecv(right, 7, haloOut, left, 7, haloIn)
+		if _, err := comm.SendRecv(right, 7, haloOut, left, 7, haloIn); err != nil {
+			panic(err)
+		}
 		if err := co1.Wait(); err != nil {
 			panic(err)
 		}
 		if err := co2.Wait(); err != nil {
 			panic(err)
 		}
-		comm.Barrier()
+		must(comm.Barrier())
 		if comm.Rank() == 0 {
 			record("overlap iallreduce+", float64(p.Now()-start)/1e3)
 		}

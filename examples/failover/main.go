@@ -4,10 +4,17 @@
 // traffic onto the surviving Quadrics rail; every byte still arrives
 // intact, at the survivor's bandwidth. This is the network fault
 // tolerance the paper's related work (LA-MPI) motivates.
+//
+// Both sides wait with virtual-time deadlines (WaitSimCtx): if failover
+// ever wedged a transfer, the deadline would surface it as an error
+// instead of hanging the run — the timeout-under-failover workload the
+// context-aware request lifecycle exists for.
 package main
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"newmad"
 )
@@ -33,11 +40,20 @@ func main() {
 		recvBufs[i] = make([]byte, size)
 	}
 
+	// Even with a rail dying mid-stream, every transfer must finish well
+	// inside this virtual-time budget on the surviving rail.
+	const perMsgBudget = 100 * time.Millisecond
 	start := pair.W.Now()
 	pair.W.Spawn("receiver", func(p *newmad.Proc) {
 		for i := 0; i < msgN; i++ {
 			rr := pair.GateBA.Irecv(tag, recvBufs[i])
-			newmad.WaitSim(p, rr)
+			ctx := newmad.WithSimTimeout(context.Background(), p, perMsgBudget)
+			if err := newmad.WaitSimCtx(ctx, p, rr); err != nil {
+				fmt.Printf("t=%8v  message %d FAILED: %v\n",
+					(p.Now() - start).Duration(), i, err)
+				rr.Cancel(err)
+				return
+			}
 			fmt.Printf("t=%8v  message %d received (%d bytes)\n",
 				(p.Now() - start).Duration(), i, rr.Len())
 		}
@@ -51,7 +67,13 @@ func main() {
 					(p.Now() - start).Duration())
 			}
 			sr := pair.GateAB.Isend(tag, send)
-			newmad.WaitSim(p, sr)
+			ctx := newmad.WithSimTimeout(context.Background(), p, perMsgBudget)
+			if err := newmad.WaitSimCtx(ctx, p, sr); err != nil {
+				fmt.Printf("t=%8v  send %d FAILED: %v\n",
+					(p.Now() - start).Duration(), i, err)
+				sr.Cancel(err)
+				return
+			}
 		}
 	})
 	pair.W.Run()

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -34,8 +35,8 @@ func main() {
 	run := func(p *newmad.Proc, rank int, gatePeer *core.Gate) {
 		gates := make([]*core.Gate, 2)
 		gates[1-rank] = gatePeer
-		comm, err := mpl.New(gatePeer.Engine(), rank, gates, func(reqs ...core.Request) {
-			bench.WaitReqs(p, reqs...)
+		comm, err := mpl.New(gatePeer.Engine(), rank, gates, func(ctx context.Context, reqs ...core.Request) error {
+			return bench.WaitReqsCtx(ctx, p, reqs...)
 		})
 		if err != nil {
 			panic(err)
@@ -75,11 +76,15 @@ func relax(comm *mpl.Comm, rank int) (int, float64) {
 		// pairs with rank 1's left edge.
 		if rank == 0 {
 			binary.LittleEndian.PutUint64(sendB[:], math.Float64bits(cur[cellsPerRank]))
-			comm.SendRecv(peer, haloTag, sendB[:], peer, haloTag, recvB[:])
+			if _, err := comm.SendRecv(peer, haloTag, sendB[:], peer, haloTag, recvB[:]); err != nil {
+				panic(err)
+			}
 			cur[cellsPerRank+1] = math.Float64frombits(binary.LittleEndian.Uint64(recvB[:]))
 		} else {
 			binary.LittleEndian.PutUint64(sendB[:], math.Float64bits(cur[1]))
-			comm.SendRecv(peer, haloTag, sendB[:], peer, haloTag, recvB[:])
+			if _, err := comm.SendRecv(peer, haloTag, sendB[:], peer, haloTag, recvB[:]); err != nil {
+				panic(err)
+			}
 			cur[0] = math.Float64frombits(binary.LittleEndian.Uint64(recvB[:]))
 		}
 		local := 0.0
@@ -90,7 +95,11 @@ func relax(comm *mpl.Comm, rank int) (int, float64) {
 		}
 		cur, next = next, cur
 		// Global residual via all-reduce (scaled to int64 picounits).
-		res = float64(comm.AllSumInt64(int64(local*1e12))) / 1e12
+		sum, err := comm.AllSumInt64(int64(local * 1e12))
+		if err != nil {
+			panic(err)
+		}
+		res = float64(sum) / 1e12
 	}
 	return step, res
 }

@@ -1,11 +1,15 @@
 // Quickstart: send one message between two simulated hosts over a
 // heterogeneous two-rail platform (Myri-10G + Quadrics) using the
 // paper's final strategy, and print how long the exchange took in
-// virtual time.
+// virtual time. The receiver waits with a virtual-time deadline
+// (WaitSimCtx + WithSimTimeout): a wedged peer would surface as
+// context.DeadlineExceeded instead of hanging the simulation.
 package main
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"newmad"
 )
@@ -24,7 +28,14 @@ func main() {
 	start := pair.W.Now() // sampling ran during setup; measure from here
 	pair.W.Spawn("receiver", func(p *newmad.Proc) {
 		rr := pair.GateBA.Irecv(tag, recv)
-		newmad.WaitSim(p, rr)
+		// Bound the wait on the simulated clock: if the message hasn't
+		// landed within 10ms of virtual time, give up instead of hanging.
+		ctx := newmad.WithSimTimeout(context.Background(), p, 10*time.Millisecond)
+		if err := newmad.WaitSimCtx(ctx, p, rr); err != nil {
+			fmt.Println("receive timed out:", err)
+			rr.Cancel(err)
+			return
+		}
 		fmt.Printf("received %d bytes after %v: %q\n",
 			rr.Len(), (p.Now() - start).Duration(), string(recv[:rr.Len()]))
 	})

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"newmad/internal/core"
@@ -108,10 +109,11 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 func (c *Cluster) Size() int { return len(c.Engines) }
 
 // Comm builds an mpl communicator for the given rank, with blocking
-// waits bound to simulated process p.
+// waits bound to simulated process p: they park in virtual time and
+// honor virtual-time deadlines attached with WithSimDeadline.
 func (c *Cluster) Comm(rank int, p *des.Proc) *mpl.Comm {
-	comm, err := mpl.New(c.Engines[rank], rank, c.Gates[rank], func(reqs ...core.Request) {
-		WaitReqs(p, reqs...)
+	comm, err := mpl.New(c.Engines[rank], rank, c.Gates[rank], func(ctx context.Context, reqs ...core.Request) error {
+		return WaitReqsCtx(ctx, p, reqs...)
 	})
 	if err != nil {
 		panic("bench: " + err.Error())

@@ -27,7 +27,10 @@ func TestClusterPointToPoint(t *testing.T) {
 		next := (comm.Rank() + 1) % comm.Size()
 		prev := (comm.Rank() + comm.Size() - 1) % comm.Size()
 		buf := make([]byte, len(msg))
-		n := comm.SendRecv(next, 1, msg, prev, 1, buf)
+		n, err := comm.SendRecv(next, 1, msg, prev, 1, buf)
+		if err != nil {
+			t.Errorf("rank %d: SendRecv: %v", comm.Rank(), err)
+		}
 		if n != len(msg) || !bytes.Equal(buf, msg) {
 			t.Errorf("rank %d got %q", comm.Rank(), buf[:n])
 		}
@@ -47,8 +50,8 @@ func TestClusterBarrierAndBcast(t *testing.T) {
 		if string(buf) != "from rank two!!!" {
 			t.Errorf("rank %d got %q", comm.Rank(), buf)
 		}
-		if got := comm.AllSumInt64(int64(comm.Rank())); got != 6 {
-			t.Errorf("rank %d sum %d", comm.Rank(), got)
+		if got, err := comm.AllSumInt64(int64(comm.Rank())); err != nil || got != 6 {
+			t.Errorf("rank %d sum %d err %v", comm.Rank(), got, err)
 		}
 	})
 	c.W.Run()

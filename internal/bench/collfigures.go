@@ -16,6 +16,15 @@ import (
 // figures to the regime the sharded progress engine exists for — many
 // gates busy at once.
 
+// mustColl preserves the benchmarks' loud-failure invariant now that
+// blocking collectives return errors: a failed operation must abort the
+// figure run, not skew its timings silently.
+func mustColl(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("bench: collective failed: %v", err))
+	}
+}
+
 // collCluster builds the standard collective testbed: a full mesh of
 // Myri-10G + Quadrics pairs under the split strategy, with the algorithm
 // selector seeded from the declared rail profiles and the given forced
@@ -47,11 +56,11 @@ func BcastMakespan(ranks, size int, algo mpl.Algo, q Quality) float64 {
 					buf[i] = byte(it + i)
 				}
 			}
-			comm.Barrier()
+			mustColl(comm.Barrier())
 			if comm.Rank() == 0 {
 				startAt = p.Now()
 			}
-			comm.Bcast(0, buf)
+			mustColl(comm.Bcast(0, buf))
 			doneAt[comm.Rank()] = p.Now()
 			if q.Verify {
 				for i := range buf {
@@ -60,7 +69,7 @@ func BcastMakespan(ranks, size int, algo mpl.Algo, q Quality) float64 {
 					}
 				}
 			}
-			comm.Barrier()
+			mustColl(comm.Barrier())
 			if comm.Rank() == 0 && it >= q.Warmup {
 				max := startAt
 				for _, d := range doneAt {
@@ -97,13 +106,13 @@ func AllreduceMakespan(ranks, size int, algo mpl.Algo, q Quality) float64 {
 			send[i] = byte(comm.Rank() + i)
 		}
 		for it := 0; it < q.Warmup+q.Iters; it++ {
-			comm.Barrier()
+			mustColl(comm.Barrier())
 			if comm.Rank() == 0 {
 				startAt = p.Now()
 			}
-			comm.Allreduce(send, recv, mpl.OpSumInt64())
+			mustColl(comm.Allreduce(send, recv, mpl.OpSumInt64()))
 			doneAt[comm.Rank()] = p.Now()
-			comm.Barrier()
+			mustColl(comm.Barrier())
 			if comm.Rank() == 0 && it >= q.Warmup {
 				max := startAt
 				for _, d := range doneAt {

@@ -4,7 +4,9 @@
 package bench
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"newmad/internal/core"
 	"newmad/internal/des"
@@ -96,14 +98,78 @@ func NewPair(cfg PairConfig) *Pair {
 // WaitReqs parks the process until every request has completed,
 // panicking on request errors (benchmarks must not silently lose data).
 func WaitReqs(p *des.Proc, reqs ...core.Request) {
+	if err := WaitReqsCtx(context.Background(), p, reqs...); err != nil {
+		panic(fmt.Sprintf("bench: request failed: %v", err))
+	}
+}
+
+// simDeadlineKey carries an absolute virtual-time deadline in a Context.
+type simDeadlineKey struct{}
+
+// WithSimDeadline attaches an absolute virtual-time deadline to ctx.
+// WaitReqsCtx — and everything built on it, such as the *Ctx operations
+// of communicators from Cluster.Comm — observes it against the simulated
+// clock: a wall-clock context deadline is meaningless under the DES,
+// where a nanosecond of virtual time bears no relation to real time.
+func WithSimDeadline(ctx context.Context, t des.Time) context.Context {
+	return context.WithValue(ctx, simDeadlineKey{}, t)
+}
+
+// WithSimTimeout attaches a virtual-time deadline d from the process's
+// current virtual now.
+func WithSimTimeout(ctx context.Context, p *des.Proc, d time.Duration) context.Context {
+	return WithSimDeadline(ctx, p.Now()+des.FromDuration(d))
+}
+
+// SimDeadline reports the virtual-time deadline attached to ctx, if any.
+func SimDeadline(ctx context.Context) (des.Time, bool) {
+	t, ok := ctx.Value(simDeadlineKey{}).(des.Time)
+	return t, ok
+}
+
+// WaitReqsCtx parks the process until every request completes, returning
+// the first request error — or returns early with ctx's error when the
+// virtual-time deadline attached via WithSimDeadline/WithSimTimeout
+// expires (context.DeadlineExceeded), leaving the remaining requests
+// outstanding. The deadline wake-up is a cancellable kernel timer: a
+// request completing first stops it, so abandoned deadlines never
+// stretch a run's virtual makespan. A ctx cancelled from outside the
+// simulation is observed at wake-ups only — the DES cannot be
+// interrupted mid-park from real time.
+func WaitReqsCtx(ctx context.Context, p *des.Proc, reqs ...core.Request) error {
+	deadline, hasDeadline := SimDeadline(ctx)
+	var first error
 	for _, r := range reqs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		sig := des.NewSignal(p.World())
 		r.OnComplete(func() { sig.Broadcast() })
+		var timer *des.Timer
+		if hasDeadline && !r.Done() {
+			if p.Now() >= deadline {
+				return context.DeadlineExceeded
+			}
+			timer = p.World().Schedule(deadline-p.Now(), func() { sig.Broadcast() })
+		}
 		for !r.Done() {
 			p.Wait(sig)
+			if err := ctx.Err(); err != nil {
+				if timer != nil {
+					timer.Stop()
+				}
+				return err
+			}
+			if hasDeadline && !r.Done() && p.Now() >= deadline {
+				return context.DeadlineExceeded
+			}
 		}
-		if err := r.Err(); err != nil {
-			panic(fmt.Sprintf("bench: request failed: %v", err))
+		if timer != nil {
+			timer.Stop()
+		}
+		if err := r.Err(); err != nil && first == nil {
+			first = err
 		}
 	}
+	return first
 }

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -94,6 +95,14 @@ var ErrEngineClosed = errors.New("core: engine closed")
 // ErrMsgAborted reports a receive whose sender gave the message up after
 // a rail failed with its packets' delivery status unknown.
 var ErrMsgAborted = errors.New("core: message aborted by sender after rail failure")
+
+// ErrCanceled reports a request abandoned by Request.Cancel with no more
+// specific cause.
+var ErrCanceled = errors.New("core: request canceled")
+
+// ErrPeerRecvGone reports a send abandoned because the peer cancelled
+// the matching receive while the rendezvous handshake was pending.
+var ErrPeerRecvGone = errors.New("core: peer abandoned the matching receive")
 
 // New creates an engine. It panics if cfg.Strategy is nil.
 func New(cfg Config) *Engine {
@@ -226,12 +235,52 @@ func (e *Engine) Poll() {
 // short sleeps so long rendezvous on shared CPUs don't starve the peer
 // process.
 func (e *Engine) Wait(req Request) error {
+	return e.WaitCtx(context.Background(), req)
+}
+
+// WaitAll waits for several requests.
+func (e *Engine) WaitAll(reqs ...Request) error {
+	return e.WaitCtx(context.Background(), reqs...)
+}
+
+// WaitCtx blocks until every request completes, or until ctx is done —
+// whichever comes first. On ctx expiry it returns ctx.Err() immediately,
+// detaching cleanly: the waiter stops pumping the active-rail poll set
+// and the requests are left outstanding (Cancel them to abandon the
+// work; other waiters or driver events still complete them normally).
+// With all requests complete it returns the first request error.
+func (e *Engine) WaitCtx(ctx context.Context, reqs ...Request) error {
+	var first error
+	for _, r := range reqs {
+		err, ctxErr := e.waitOne(ctx, r)
+		if ctxErr != nil {
+			return ctxErr
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// waitOne waits for a single request, pumping the active poll set while
+// it blocks; a ctx expiry is reported separately from a request error so
+// WaitCtx can distinguish "detached" from "completed with failure".
+func (e *Engine) waitOne(ctx context.Context, req Request) (reqErr, ctxErr error) {
 	done := req.Completion()
+	ctxDone := ctx.Done()
 	for spins := 0; ; spins++ {
 		select {
 		case <-done:
-			return req.Err()
+			return req.Err(), nil
 		default:
+		}
+		if ctxDone != nil {
+			select {
+			case <-ctxDone:
+				return nil, ctx.Err()
+			default:
+			}
 		}
 		rails := e.polledRails()
 		if len(rails) == 0 {
@@ -243,12 +292,16 @@ func (e *Engine) Wait(req Request) error {
 			gen := e.pollGenCh()
 			if rails = e.polledRails(); len(rails) == 0 {
 				// Park on the completion channel — but re-evaluate if
-				// a pollable rail joins the engine while we sleep.
+				// a pollable rail joins the engine while we sleep, and
+				// wake on ctx expiry (a nil ctxDone arm blocks forever,
+				// exactly what a background context wants).
 				select {
 				case <-done:
-					return req.Err()
+					return req.Err(), nil
 				case <-gen:
 					continue
+				case <-ctxDone:
+					return nil, ctx.Err()
 				}
 			}
 		}
@@ -261,17 +314,6 @@ func (e *Engine) Wait(req Request) error {
 			time.Sleep(20 * time.Microsecond)
 		}
 	}
-}
-
-// WaitAll waits for several requests.
-func (e *Engine) WaitAll(reqs ...Request) error {
-	var first error
-	for _, r := range reqs {
-		if err := e.Wait(r); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
 }
 
 // Close closes every driver of every gate, fails each gate's
@@ -674,7 +716,7 @@ func (e *Engine) requeue(g *Gate, p *Packet) {
 				}
 			}
 		}
-	case KCTS, KAbort:
+	case KCTS, KAbort, KRecvAbort:
 		g.backlog.PushCtrl(p)
 	}
 }
@@ -749,8 +791,13 @@ func (e *Engine) arrive(r *Rail, p *Packet) {
 		} else {
 			if p.Hdr.MsgID < g.recvMsgID[p.Hdr.Tag] {
 				// The message was already claimed by a (since completed
-				// or aborted) receive; a straggler RTS must not park in
-				// the unexpected buffer forever.
+				// or cancelled) receive, so no CTS will ever answer this
+				// RTS. Tell the sender to give the rendezvous up — a
+				// cancelled receive must not park its peer's Send
+				// forever — instead of letting the straggler RTS sit in
+				// the unexpected buffer.
+				g.backlog.PushCtrl(&Packet{Hdr: Header{Kind: KRecvAbort, Tag: p.Hdr.Tag, MsgID: p.Hdr.MsgID}})
+				e.kick(g)
 				return
 			}
 			em := g.early(p.Hdr.Tag, p.Hdr.MsgID)
@@ -819,6 +866,23 @@ func (e *Engine) arrive(r *Rail, p *Packet) {
 		em.aborted = true
 		em.data = nil
 		em.rts = nil
+	case KRecvAbort:
+		// The peer's receive for our message (Tag, MsgID) is gone (a
+		// cancelled receive): a send of ours still parked in the
+		// rendezvous handshake can never be granted — fail it. Granted
+		// bodies are left alone: their chunks are dropped at the peer
+		// and the request completes through normal accounting.
+		for id, u := range g.rdvSend {
+			if u.Hdr.Tag != p.Hdr.Tag || u.Hdr.MsgID != p.Hdr.MsgID || u.spans != nil {
+				continue
+			}
+			delete(g.rdvSend, id)
+			if u.Req != nil && u.Req.failErr == nil {
+				u.Req.failErr = ErrPeerRecvGone
+				e.purgeRequest(g, u.Req)
+				u.Req.maybeComplete()
+			}
+		}
 	default:
 		e.railFailure(r, fmt.Errorf("core: arrive: bad kind %v", p.Hdr.Kind))
 	}

@@ -21,10 +21,15 @@ const (
 	// KChunk carries a slice of a rendezvous body.
 	KChunk
 	// KAbort tells the peer the sender gave up on message (Tag, MsgID)
-	// — a rail died with its delivery status unknown — so the matching
-	// receive fails instead of waiting forever for bytes that will
-	// never be resent.
+	// — a rail died with its delivery status unknown, or the send was
+	// cancelled — so the matching receive fails instead of waiting
+	// forever for bytes that will never be resent.
 	KAbort
+	// KRecvAbort tells the peer its message (Tag, MsgID) has no receive
+	// any more — the posted receive was cancelled — so a sender parked
+	// in the rendezvous handshake fails instead of waiting forever for
+	// a CTS that will never come.
+	KRecvAbort
 )
 
 // String implements fmt.Stringer.
@@ -40,6 +45,8 @@ func (k Kind) String() string {
 		return "CHUNK"
 	case KAbort:
 		return "ABORT"
+	case KRecvAbort:
+		return "RECV-ABORT"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -95,7 +102,7 @@ func DecodeHeader(buf []byte) (Header, error) {
 		return h, ErrShortHeader
 	}
 	h.Kind = Kind(buf[0])
-	if h.Kind < KData || h.Kind > KAbort {
+	if h.Kind < KData || h.Kind > KRecvAbort {
 		return h, fmt.Errorf("core: bad packet kind %d", buf[0])
 	}
 	h.Agg = binary.LittleEndian.Uint16(buf[2:])

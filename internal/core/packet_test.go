@@ -57,7 +57,7 @@ func TestDecodeBadKind(t *testing.T) {
 	if _, err := DecodeHeader(buf); err == nil {
 		t.Fatal("kind 0 decoded")
 	}
-	buf[0] = byte(KAbort) + 1
+	buf[0] = byte(KRecvAbort) + 1
 	if _, err := DecodeHeader(buf); err == nil {
 		t.Fatal("kind out of range decoded")
 	}

@@ -17,6 +17,14 @@ type Request interface {
 	// blocks here instead of spin-polling when every rail is
 	// event-driven.
 	Completion() <-chan struct{}
+	// Cancel abandons the request: it completes with err (ErrCanceled
+	// when err is nil) instead of its normal outcome. Cancelling a send
+	// frees its still-queued work and tells the peer to abandon the
+	// message; cancelling a receive unhooks it from the match tables.
+	// Cancel after completion is a no-op. Cancel never blocks on the
+	// request finishing: completion may trail the call while in-flight
+	// packets drain (wait on the request to observe the terminal state).
+	Cancel(err error)
 }
 
 // reqState is the shared completion machinery.
@@ -116,6 +124,27 @@ func (s *SendReq) Tag() uint32 { return s.tag }
 // MsgID returns the per-(gate,tag) message sequence number.
 func (s *SendReq) MsgID() uint64 { return s.msg }
 
+// Cancel implements Request: the send is abandoned and completes with err
+// (ErrCanceled when nil) as soon as its in-flight packets drain. Inside
+// the gate's progress domain, still-queued units are removed from the
+// backlog, in-flight stripped chunks are marked abandoned (their buffers
+// are only released once the drivers finish with them), and the peer is
+// notified via the KAbort control path so a matching receive fails
+// instead of hanging. A no-op once the request has completed.
+func (s *SendReq) Cancel(err error) {
+	if err == nil {
+		err = ErrCanceled
+	}
+	g := s.gate
+	g.dom.Post(func() {
+		if s.Done() {
+			return
+		}
+		g.eng.failSend(g, s, err)
+		g.eng.kick(g) // flush the KAbort on an idle rail
+	})
+}
+
 // maybeComplete finishes the request once nothing remains queued or in
 // flight — with failErr if the request was doomed by a rail failure.
 // Caller owns the gate's progress domain.
@@ -174,6 +203,24 @@ func (r *RecvReq) Buf() []byte {
 
 // Bufs returns the scatter list the message lands in.
 func (r *RecvReq) Bufs() [][]byte { return r.bufs }
+
+// Cancel implements Request: the receive completes with err (ErrCanceled
+// when nil) and is unhooked from the match tables inside the gate's
+// progress domain — the posted queue and any rendezvous sinks pointing at
+// its buffers — so data arriving later for the message is dropped rather
+// than landed in reclaimed memory. A no-op once the request has completed.
+func (r *RecvReq) Cancel(err error) {
+	if err == nil {
+		err = ErrCanceled
+	}
+	g := r.gate
+	g.dom.Post(func() {
+		if r.Done() {
+			return
+		}
+		g.eng.failRecv(g, r, err)
+	})
+}
 
 // writeAt scatters data at the given message offset across the
 // destination buffers. The caller has validated off+len(data) against

@@ -27,6 +27,9 @@ type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	// cancelled events are skipped by the run loops without advancing
+	// the clock, so a stopped Timer leaves no trace on virtual time.
+	cancelled bool
 }
 
 type eventHeap []*event
@@ -90,6 +93,29 @@ func (w *World) After(d Time, fn func()) {
 	w.At(w.now+d, fn)
 }
 
+// Timer is a scheduled event that can be stopped before it fires (a
+// deadline wake-up, typically). The zero value is not usable; Schedule
+// returns armed timers.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. A stopped timer's event is discarded by the
+// run loop without running its function and without advancing the clock,
+// so abandoned deadlines never stretch a run's virtual makespan. Stop
+// after firing is a no-op.
+func (t *Timer) Stop() { t.ev.cancelled = true }
+
+// Schedule is After with a handle to cancel: fn runs d nanoseconds from
+// now unless Stop is called first.
+func (w *World) Schedule(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %d", d))
+	}
+	w.seq++
+	e := &event{at: w.now + d, seq: w.seq, fn: fn}
+	w.events.pushEv(e)
+	return &Timer{ev: e}
+}
+
 // Run executes events in timestamp order until the queue is empty.
 // It panics if live processes remain parked with no event that could wake
 // them, since that indicates a deadlocked model.
@@ -101,6 +127,9 @@ func (w *World) Run() {
 	defer func() { w.running = false }()
 	for len(w.events) > 0 {
 		e := w.events.popEv()
+		if e.cancelled {
+			continue
+		}
 		w.now = e.at
 		e.fn()
 	}
@@ -115,6 +144,9 @@ func (w *World) Run() {
 func (w *World) RunUntil(deadline Time) {
 	for len(w.events) > 0 && w.events.peek().at <= deadline {
 		e := w.events.popEv()
+		if e.cancelled {
+			continue
+		}
 		w.now = e.at
 		e.fn()
 	}

@@ -14,6 +14,10 @@
 //   - RailDown reporting: an asynchronous link failure is reported
 //     exactly once (drivers whose links cannot fail asynchronously skip
 //     this case);
+//   - cancel semantics: request cancellation over the driver behaves per
+//     contract — cancel before post frees queued work and aborts the
+//     peer, cancel mid-flight reaches bounded-time terminal states on
+//     both ends, cancel after completion is a no-op (see cancel.go);
 //   - close semantics: Close is idempotent and Send after Close returns
 //     an error rather than panicking or completing.
 package drvtest
@@ -229,6 +233,8 @@ func Run(t *testing.T, h Harness) {
 			t.Fatalf("failure reported %d times, want exactly once", fails+downs)
 		}
 	})
+
+	t.Run("CancelSemantics", func(t *testing.T) { runCancel(t, h) })
 
 	t.Run("CloseSemantics", func(t *testing.T) {
 		p := setup(t, h)

@@ -13,6 +13,7 @@
 package tcpdrv
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"newmad/internal/core"
+	"newmad/internal/netx"
 )
 
 // ErrClosed reports use of a closed driver.
@@ -105,7 +107,14 @@ func New(conn net.Conn, opts Options) *Driver {
 
 // Dial connects to addr and returns the rail.
 func Dial(addr string, opts Options) (*Driver, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialCtx(context.Background(), addr, opts)
+}
+
+// DialCtx connects to addr under ctx: cancellation or deadline expiry
+// aborts the in-flight dial with ctx's error.
+func DialCtx(ctx context.Context, addr string, opts Options) (*Driver, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tcpdrv: dial %s: %w", addr, err)
 	}
@@ -114,7 +123,18 @@ func Dial(addr string, opts Options) (*Driver, error) {
 
 // Accept waits for one connection on l and returns the rail.
 func Accept(l net.Listener, opts Options) (*Driver, error) {
-	conn, err := l.Accept()
+	return AcceptCtx(context.Background(), l, opts)
+}
+
+// AcceptCtx waits for one connection on l under ctx. Cancellation is
+// mapped onto a socket deadline poke (netx.AcceptConn): the listener's
+// deadline is moved into the past, failing the blocked Accept
+// immediately, and ctx's error is returned in place of the resulting
+// timeout. The listener's deadline is cleared again before returning so
+// l can be reused.
+func AcceptCtx(ctx context.Context, l net.Listener, opts Options) (*Driver, error) {
+	deadline, _ := ctx.Deadline() // zero: no deadline
+	conn, err := netx.AcceptConn(ctx, l, deadline)
 	if err != nil {
 		return nil, fmt.Errorf("tcpdrv: accept: %w", err)
 	}

@@ -1,6 +1,7 @@
 package mpl
 
 import (
+	"context"
 	"sync"
 
 	"newmad/internal/core"
@@ -51,10 +52,14 @@ type Coll struct {
 	idx     int
 	pending int
 	afterFn func()
-	done    bool
-	err     error
-	cbs     []func()
-	doneCh  chan struct{}
+	// reqs are the point-to-point requests of the in-flight stage, kept
+	// so Cancel can abort them on their gates; cleared at each stage
+	// boundary.
+	reqs   []core.Request
+	done   bool
+	err    error
+	cbs    []func()
+	doneCh chan struct{}
 }
 
 // startColl launches the schedule and returns its handle.
@@ -95,6 +100,7 @@ func (co *Coll) schedule() {
 		// from advancing out from under the posting loop.
 		co.pending = len(st.posts) + 1
 		co.afterFn = st.after
+		co.reqs = co.reqs[:0]
 		co.mu.Unlock()
 		for _, p := range st.posts {
 			p := p
@@ -113,6 +119,7 @@ func (co *Coll) schedule() {
 				} else {
 					req = ops.Irecv(co.tag, p.data)
 				}
+				co.track(req)
 				req.OnComplete(func() { co.reqDone(req) })
 			})
 		}
@@ -144,6 +151,24 @@ func (co *Coll) release() bool {
 	return true
 }
 
+// track records a just-posted request for Cancel. If the collective was
+// cancelled between the Done check and the post (the Exec may have been
+// deferred), the request is aborted right here instead of being orphaned
+// on its gate.
+func (co *Coll) track(req core.Request) {
+	co.mu.Lock()
+	if co.done {
+		err := co.err
+		co.mu.Unlock()
+		if err != nil {
+			req.Cancel(err)
+		}
+		return
+	}
+	co.reqs = append(co.reqs, req)
+	co.mu.Unlock()
+}
+
 // reqDone is the completion callback of every request the schedule posts.
 func (co *Coll) reqDone(req core.Request) {
 	if err := req.Err(); err != nil {
@@ -157,10 +182,10 @@ func (co *Coll) reqDone(req core.Request) {
 
 // finish completes the collective. Idempotent; late completions of an
 // errored stage find done set and stand down, and unposted siblings of
-// the failing request are skipped. Requests already posted when the
-// error struck stay outstanding on their gates — there is no receive
-// cancellation — which is acceptable because a failed collective means a
-// peer is unreachable and the communicator is done for.
+// the failing request are skipped. On an error the in-flight stage's
+// posted requests are cancelled on their gates, so their buffers are
+// released and their peers see aborts instead of hanging on traffic that
+// will never come.
 func (co *Coll) finish(err error) {
 	co.mu.Lock()
 	if co.done {
@@ -171,13 +196,38 @@ func (co *Coll) finish(err error) {
 	co.err = err
 	cbs := co.cbs
 	co.cbs = nil
+	var reqs []core.Request
+	if err != nil {
+		reqs = co.reqs
+		co.reqs = nil
+	}
 	if co.doneCh != nil {
 		close(co.doneCh)
 	}
 	co.mu.Unlock()
+	for _, r := range reqs {
+		// Cancel enters the gate's domain via its non-blocking Post
+		// path, so this is safe from completion-callback context; done
+		// requests are no-ops.
+		r.Cancel(err)
+	}
 	for _, fn := range cbs {
 		fn()
 	}
+}
+
+// Cancel implements core.Request: the collective completes with err
+// (core.ErrCanceled when nil), its remaining stage schedule is torn down
+// — no further stages are issued — and the in-flight stage's requests
+// are aborted on their gates. The operation's reserved tag stays
+// consumed, so the communicator's collective sequence space is intact:
+// subsequent collectives match on fresh tags and never cross-match
+// straggler traffic of the cancelled operation.
+func (co *Coll) Cancel(err error) {
+	if err == nil {
+		err = core.ErrCanceled
+	}
+	co.finish(err)
 }
 
 // Done implements core.Request.
@@ -224,8 +274,29 @@ func (co *Coll) Completion() <-chan struct{} {
 // time under simulation) until the collective completes and returns its
 // error.
 func (co *Coll) Wait() error {
-	co.comm.wait(co)
+	return co.WaitCtx(context.Background())
+}
+
+// WaitCtx waits like Wait but gives up when ctx is done, returning
+// ctx.Err() and leaving the collective outstanding — call Cancel to tear
+// the schedule down, or keep the handle and wait again. The blocking
+// *Ctx collectives on Comm cancel on expiry automatically.
+func (co *Coll) WaitCtx(ctx context.Context) error {
+	if err := co.comm.wait(ctx, co); err != nil {
+		return err
+	}
 	return co.Err()
+}
+
+// collCtx runs a blocking collective bounded by ctx: on ctx expiry the
+// collective is cancelled — remaining stages torn down, in-flight
+// requests aborted on their gates — and the ctx error is returned.
+func (c *Comm) collCtx(ctx context.Context, co *Coll) error {
+	err := co.WaitCtx(ctx)
+	if err != nil && !co.Done() {
+		co.Cancel(err)
+	}
+	return err
 }
 
 // Test reports whether the collective has completed, making one

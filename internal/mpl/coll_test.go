@@ -287,7 +287,10 @@ func TestNonblockingCollectivesOverlap(t *testing.T) {
 		peer := (cm.Rank() + 1) % ranks
 		prev := (cm.Rank() - 1 + ranks) % ranks
 		in := make([]byte, 64)
-		n := cm.SendRecv(peer, 9, pattern(cm.Rank(), 64), prev, 9, in)
+		n, err := cm.SendRecv(peer, 9, pattern(cm.Rank(), 64), prev, 9, in)
+		if err != nil {
+			t.Errorf("rank %d: SendRecv: %v", cm.Rank(), err)
+		}
 		if n != 64 || !bytes.Equal(in, pattern(prev, 64)) {
 			t.Errorf("rank %d: p2p corrupted during collectives", cm.Rank())
 		}
@@ -341,8 +344,8 @@ func TestCollectivesSizeOne(t *testing.T) {
 	if string(a2a) != "self" {
 		t.Fatal("size-1 alltoall")
 	}
-	if got := cm.AllSumInt64(41); got != 41 {
-		t.Fatalf("size-1 allsum = %d", got)
+	if got, err := cm.AllSumInt64(41); err != nil || got != 41 {
+		t.Fatalf("size-1 allsum = %d, err %v", got, err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package mpl
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 )
@@ -158,7 +159,11 @@ func (c *Comm) IBarrier() *Coll {
 }
 
 // Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() { c.IBarrier().Wait() }
+func (c *Comm) Barrier() error { return c.IBarrier().Wait() }
+
+// BarrierCtx is Barrier bounded by ctx: on expiry the barrier is
+// cancelled and the ctx error returned.
+func (c *Comm) BarrierCtx(ctx context.Context) error { return c.collCtx(ctx, c.IBarrier()) }
 
 // ------------------------------------------------------------------ Bcast
 
@@ -243,7 +248,12 @@ func (c *Comm) bcastChain(root int, buf []byte) []stage {
 }
 
 // Bcast broadcasts root's buf to every rank.
-func (c *Comm) Bcast(root int, buf []byte) { c.IBcast(root, buf).Wait() }
+func (c *Comm) Bcast(root int, buf []byte) error { return c.IBcast(root, buf).Wait() }
+
+// BcastCtx is Bcast bounded by ctx; on expiry the broadcast is cancelled.
+func (c *Comm) BcastCtx(ctx context.Context, root int, buf []byte) error {
+	return c.collCtx(ctx, c.IBcast(root, buf))
+}
 
 // ----------------------------------------------------------------- Gather
 
@@ -322,7 +332,12 @@ func (c *Comm) gatherStages(root int, send, recv []byte, algo Algo) []stage {
 
 // Gather collects every rank's send block (all the same length) into
 // recv on root, ordered by rank.
-func (c *Comm) Gather(root int, send, recv []byte) { c.IGather(root, send, recv).Wait() }
+func (c *Comm) Gather(root int, send, recv []byte) error { return c.IGather(root, send, recv).Wait() }
+
+// GatherCtx is Gather bounded by ctx; on expiry the gather is cancelled.
+func (c *Comm) GatherCtx(ctx context.Context, root int, send, recv []byte) error {
+	return c.collCtx(ctx, c.IGather(root, send, recv))
+}
 
 // ---------------------------------------------------------------- Scatter
 
@@ -355,7 +370,13 @@ func (c *Comm) IScatter(root int, send, recv []byte) *Coll {
 
 // Scatter distributes equal blocks of send (on root) to every rank's
 // recv buffer.
-func (c *Comm) Scatter(root int, send, recv []byte) { c.IScatter(root, send, recv).Wait() }
+func (c *Comm) Scatter(root int, send, recv []byte) error { return c.IScatter(root, send, recv).Wait() }
+
+// ScatterCtx is Scatter bounded by ctx; on expiry the scatter is
+// cancelled.
+func (c *Comm) ScatterCtx(ctx context.Context, root int, send, recv []byte) error {
+	return c.collCtx(ctx, c.IScatter(root, send, recv))
+}
 
 // ----------------------------------------------------------------- Reduce
 
@@ -443,7 +464,15 @@ func (c *Comm) reduceStages(root int, send, recv []byte, op Op, algo Algo) []sta
 }
 
 // Reduce folds every rank's send into recv on root with op.
-func (c *Comm) Reduce(root int, send, recv []byte, op Op) { c.IReduce(root, send, recv, op).Wait() }
+func (c *Comm) Reduce(root int, send, recv []byte, op Op) error {
+	return c.IReduce(root, send, recv, op).Wait()
+}
+
+// ReduceCtx is Reduce bounded by ctx; on expiry the reduction is
+// cancelled.
+func (c *Comm) ReduceCtx(ctx context.Context, root int, send, recv []byte, op Op) error {
+	return c.collCtx(ctx, c.IReduce(root, send, recv, op))
+}
 
 // -------------------------------------------------------------- Allreduce
 
@@ -519,14 +548,24 @@ func (c *Comm) allreduceRing(send, recv []byte, op Op) []stage {
 }
 
 // Allreduce folds every rank's send elementwise into every rank's recv.
-func (c *Comm) Allreduce(send, recv []byte, op Op) { c.IAllreduce(send, recv, op).Wait() }
+func (c *Comm) Allreduce(send, recv []byte, op Op) error {
+	return c.IAllreduce(send, recv, op).Wait()
+}
+
+// AllreduceCtx is Allreduce bounded by ctx; on expiry the operation is
+// cancelled.
+func (c *Comm) AllreduceCtx(ctx context.Context, send, recv []byte, op Op) error {
+	return c.collCtx(ctx, c.IAllreduce(send, recv, op))
+}
 
 // AllSumInt64 returns the sum of every rank's contribution.
-func (c *Comm) AllSumInt64(v int64) int64 {
+func (c *Comm) AllSumInt64(v int64) (int64, error) {
 	var in, out [8]byte
 	binary.LittleEndian.PutUint64(in[:], uint64(v))
-	c.Allreduce(in[:], out[:], OpSumInt64())
-	return int64(binary.LittleEndian.Uint64(out[:]))
+	if err := c.Allreduce(in[:], out[:], OpSumInt64()); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(out[:])), nil
 }
 
 // -------------------------------------------------------------- Allgather
@@ -564,7 +603,13 @@ func (c *Comm) IAllgather(send, recv []byte) *Coll {
 
 // Allgather gathers every rank's equal-sized block into every rank's
 // recv buffer.
-func (c *Comm) Allgather(send, recv []byte) { c.IAllgather(send, recv).Wait() }
+func (c *Comm) Allgather(send, recv []byte) error { return c.IAllgather(send, recv).Wait() }
+
+// AllgatherCtx is Allgather bounded by ctx; on expiry the operation is
+// cancelled.
+func (c *Comm) AllgatherCtx(ctx context.Context, send, recv []byte) error {
+	return c.collCtx(ctx, c.IAllgather(send, recv))
+}
 
 // --------------------------------------------------------------- Alltoall
 
@@ -613,4 +658,10 @@ func (c *Comm) IAlltoall(send, recv []byte) *Coll {
 }
 
 // Alltoall exchanges equal-sized blocks between every pair of ranks.
-func (c *Comm) Alltoall(send, recv []byte) { c.IAlltoall(send, recv).Wait() }
+func (c *Comm) Alltoall(send, recv []byte) error { return c.IAlltoall(send, recv).Wait() }
+
+// AlltoallCtx is Alltoall bounded by ctx; on expiry the operation is
+// cancelled.
+func (c *Comm) AlltoallCtx(ctx context.Context, send, recv []byte) error {
+	return c.collCtx(ctx, c.IAlltoall(send, recv))
+}

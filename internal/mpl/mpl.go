@@ -8,6 +8,7 @@
 package mpl
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -15,10 +16,13 @@ import (
 	"newmad/internal/core"
 )
 
-// Waiter blocks until the given requests complete. Simulation code passes
-// a virtual-time waiter (bench.WaitReqs bound to a process); real-time
-// code passes Engine.WaitAll semantics.
-type Waiter func(reqs ...core.Request)
+// Waiter blocks until every given request completes, returning the first
+// request error — or until ctx is done, returning ctx.Err() immediately
+// and leaving the remaining requests outstanding. Simulation code passes
+// a virtual-time waiter (bench.WaitReqsCtx bound to a process, which
+// reads deadlines in simulated clock time); real-time code gets
+// Engine.WaitCtx semantics by default.
+type Waiter func(ctx context.Context, reqs ...core.Request) error
 
 // Comm is a communicator: a set of ranks, this process being one of
 // them, with a gate to every other rank.
@@ -58,10 +62,8 @@ func New(eng *core.Engine, rank int, gates []*core.Gate, wait Waiter) (*Comm, er
 		}
 	}
 	if wait == nil {
-		wait = func(reqs ...core.Request) {
-			for _, r := range reqs {
-				_ = eng.Wait(r)
-			}
+		wait = func(ctx context.Context, reqs ...core.Request) error {
+			return eng.WaitCtx(ctx, reqs...)
 		}
 	}
 	c := &Comm{eng: eng, rank: rank, gates: gates, wait: wait}
@@ -151,26 +153,64 @@ func (c *Comm) Irecv(src int, tag uint32, buf []byte) *core.RecvReq {
 	return c.gate(src).Irecv(tag, buf)
 }
 
-// Send sends data to dst and blocks until the buffer is reusable.
-func (c *Comm) Send(dst int, tag uint32, data []byte) {
-	c.wait(c.Isend(dst, tag, data))
+// Send sends data to dst and blocks until the buffer is reusable,
+// returning the request's terminal error — a dead gate or rail failure
+// surfaces here instead of being swallowed.
+func (c *Comm) Send(dst int, tag uint32, data []byte) error {
+	return c.SendCtx(context.Background(), dst, tag, data)
+}
+
+// SendCtx is Send bounded by ctx: on expiry the send is cancelled — its
+// queued work freed, the peer's matching receive aborted — and the ctx
+// error returned.
+func (c *Comm) SendCtx(ctx context.Context, dst int, tag uint32, data []byte) error {
+	return c.waitAbandon(ctx, c.Isend(dst, tag, data))
 }
 
 // Recv blocks until the next message from src on tag has landed in buf
-// and returns its length.
-func (c *Comm) Recv(src int, tag uint32, buf []byte) int {
+// and returns its length and the request's terminal error.
+func (c *Comm) Recv(src int, tag uint32, buf []byte) (int, error) {
+	return c.RecvCtx(context.Background(), src, tag, buf)
+}
+
+// RecvCtx is Recv bounded by ctx: on expiry the receive is cancelled —
+// unhooked from the match tables — and the ctx error returned.
+func (c *Comm) RecvCtx(ctx context.Context, src int, tag uint32, buf []byte) (int, error) {
 	r := c.Irecv(src, tag, buf)
-	c.wait(r)
-	return r.Len()
+	err := c.waitAbandon(ctx, r)
+	return r.Len(), err
 }
 
 // SendRecv exchanges messages with two (possibly equal) peers
-// concurrently — the halo-exchange workhorse.
-func (c *Comm) SendRecv(dst int, sendTag uint32, send []byte, src int, recvTag uint32, recv []byte) int {
+// concurrently — the halo-exchange workhorse. It returns the received
+// length and the first request error.
+func (c *Comm) SendRecv(dst int, sendTag uint32, send []byte, src int, recvTag uint32, recv []byte) (int, error) {
+	return c.SendRecvCtx(context.Background(), dst, sendTag, send, src, recvTag, recv)
+}
+
+// SendRecvCtx is SendRecv bounded by ctx; on expiry both outstanding
+// requests are cancelled and the ctx error returned.
+func (c *Comm) SendRecvCtx(ctx context.Context, dst int, sendTag uint32, send []byte, src int, recvTag uint32, recv []byte) (int, error) {
 	rr := c.Irecv(src, recvTag, recv)
 	sr := c.Isend(dst, sendTag, send)
-	c.wait(sr, rr)
-	return rr.Len()
+	err := c.waitAbandon(ctx, sr, rr)
+	return rr.Len(), err
+}
+
+// waitAbandon waits for the requests through the communicator's waiter;
+// if the wait ends with any request still outstanding (ctx expiry), the
+// leftovers are cancelled so their buffers and peers are released rather
+// than orphaned.
+func (c *Comm) waitAbandon(ctx context.Context, reqs ...core.Request) error {
+	err := c.wait(ctx, reqs...)
+	if err != nil {
+		for _, r := range reqs {
+			if !r.Done() {
+				r.Cancel(err)
+			}
+		}
+	}
+	return err
 }
 
 // collTag reserves the matching channel for one collective operation:

@@ -92,10 +92,15 @@ func TestSendRecvTwoRanks(t *testing.T) {
 	msg := []byte("rank to rank")
 	c.par(t, func(cm *mpl.Comm) {
 		if cm.Rank() == 0 {
-			cm.Send(1, 5, msg)
+			if err := cm.Send(1, 5, msg); err != nil {
+				t.Errorf("send: %v", err)
+			}
 		} else {
 			buf := make([]byte, len(msg))
-			n := cm.Recv(0, 5, buf)
+			n, err := cm.Recv(0, 5, buf)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+			}
 			if n != len(msg) || !bytes.Equal(buf, msg) {
 				t.Errorf("recv %q (%d bytes)", buf[:n], n)
 			}
@@ -109,7 +114,10 @@ func TestSendRecvExchange(t *testing.T) {
 		peer := 1 - cm.Rank()
 		out := []byte{byte(cm.Rank()), 0xAA}
 		in := make([]byte, 2)
-		n := cm.SendRecv(peer, 3, out, peer, 3, in)
+		n, err := cm.SendRecv(peer, 3, out, peer, 3, in)
+		if err != nil {
+			t.Errorf("rank %d: SendRecv: %v", cm.Rank(), err)
+		}
 		if n != 2 || in[0] != byte(peer) || in[1] != 0xAA {
 			t.Errorf("rank %d got %v", cm.Rank(), in)
 		}
@@ -150,9 +158,9 @@ func TestBcast(t *testing.T) {
 func TestAllSumInt64(t *testing.T) {
 	c := newCluster(t, 4)
 	c.par(t, func(cm *mpl.Comm) {
-		got := cm.AllSumInt64(int64(cm.Rank() + 1))
-		if got != 10 {
-			t.Errorf("rank %d sum = %d, want 10", cm.Rank(), got)
+		got, err := cm.AllSumInt64(int64(cm.Rank() + 1))
+		if err != nil || got != 10 {
+			t.Errorf("rank %d sum = %d (err %v), want 10", cm.Rank(), got, err)
 		}
 	})
 }
@@ -160,9 +168,9 @@ func TestAllSumInt64(t *testing.T) {
 func TestAllSumNegative(t *testing.T) {
 	c := newCluster(t, 2)
 	c.par(t, func(cm *mpl.Comm) {
-		got := cm.AllSumInt64(int64(-5))
-		if got != -10 {
-			t.Errorf("sum = %d, want -10", got)
+		got, err := cm.AllSumInt64(int64(-5))
+		if err != nil || got != -10 {
+			t.Errorf("sum = %d (err %v), want -10", got, err)
 		}
 	})
 }

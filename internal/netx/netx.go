@@ -1,0 +1,68 @@
+// Package netx holds the small shared machinery for mapping Context
+// cancellation onto net deadline pokes. The pattern — arm an AfterFunc
+// that moves the socket's deadline into the past, then substitute
+// ctx.Err() for the timeout it provoked — is needed by every layer that
+// blocks on sockets (tcpdrv accepts, session handshakes); keeping one
+// copy means a fix to the poke pattern lands everywhere.
+package netx
+
+import (
+	"context"
+	"errors"
+	"net"
+	"time"
+)
+
+// Deadliner is the deadline surface shared by net conns and listeners
+// (*net.TCPListener and every net.Conn implement it).
+type Deadliner interface{ SetDeadline(time.Time) error }
+
+// Guard arranges for c's deadline to be poked into the past the moment
+// ctx is cancelled, failing any blocked read, write or accept promptly.
+// The returned stop must be called when the guarded phase ends; it
+// reports whether the poke had not yet fired.
+func Guard(ctx context.Context, c Deadliner) (stop func() bool) {
+	return context.AfterFunc(ctx, func() { _ = c.SetDeadline(time.Unix(1, 0)) })
+}
+
+// CtxErrOr substitutes ctx's error for a socket timeout it provoked.
+// Socket deadlines here are derived from ctx's own deadline, and the
+// netpoller timer can fire a hair before context's internal timer
+// publishes ctx.Err(); a timeout observed at or after the ctx deadline
+// is therefore reported as context.DeadlineExceeded, as the caller was
+// promised.
+func CtxErrOr(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if t, ok := ctx.Deadline(); ok && !time.Now().Before(t) {
+			return context.DeadlineExceeded
+		}
+	}
+	return err
+}
+
+// AcceptConn accepts one connection from l, interruptible by ctx and
+// bounded by the absolute deadline (zero = none). The listener deadline
+// is cleared again on return so l stays reusable; an error caused by
+// ctx comes back as ctx.Err(). A cancel poke that races the clear can
+// leave the listener's deadline in the past, which is why AcceptConn
+// (re)sets the deadline first thing on every call — reuse the listener
+// through here, not through bare Accept calls.
+func AcceptConn(ctx context.Context, l net.Listener, deadline time.Time) (net.Conn, error) {
+	if dl, ok := l.(Deadliner); ok {
+		_ = dl.SetDeadline(deadline)
+		stop := Guard(ctx, dl)
+		defer func() {
+			stop()
+			_ = dl.SetDeadline(time.Time{})
+		}()
+	}
+	conn, err := l.Accept()
+	if err != nil {
+		return nil, CtxErrOr(ctx, err)
+	}
+	return conn, nil
+}

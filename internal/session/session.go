@@ -15,6 +15,7 @@ package session
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -24,10 +25,51 @@ import (
 
 	"newmad/internal/core"
 	"newmad/internal/drivers/tcpdrv"
+	"newmad/internal/netx"
 )
 
-// Version is the wire protocol version; both ends must match.
-const Version = 1
+// Version is the wire protocol version; both ends must match. Bumped
+// to 2 when the engine gained the KRecvAbort control packet: a version-1
+// peer would fail a healthy rail on the unknown kind.
+const Version = 2
+
+// DefaultHandshakeTimeout bounds a session handshake when Options leaves
+// HandshakeTimeout zero.
+const DefaultHandshakeTimeout = 30 * time.Second
+
+// Options parameterizes session establishment. The zero value is ready
+// to use.
+type Options struct {
+	// HandshakeTimeout bounds the negotiation with one peer: the
+	// control-channel hello exchange plus every rail's bring-up and
+	// preamble. Zero gets DefaultHandshakeTimeout. A ctx whose deadline
+	// is tighter wins; it replaces the previously hardcoded 30-second
+	// socket deadlines.
+	HandshakeTimeout time.Duration
+}
+
+// handshakeDeadline computes the absolute deadline for one handshake:
+// HandshakeTimeout from now, tightened by ctx's own deadline.
+func (o Options) handshakeDeadline(ctx context.Context) time.Time {
+	d := o.HandshakeTimeout
+	if d <= 0 {
+		d = DefaultHandshakeTimeout
+	}
+	t := time.Now().Add(d)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(t) {
+		t = cd
+	}
+	return t
+}
+
+// guardCtx, ctxErrOr and acceptConn are the shared ctx-to-socket-
+// deadline-poke machinery, kept in internal/netx so tcpdrv and session
+// stay on one copy of the pattern.
+var (
+	guardCtx   = netx.Guard
+	ctxErrOr   = netx.CtxErrOr
+	acceptConn = netx.AcceptConn
+)
 
 // RailSpec declares one rail a server offers.
 type RailSpec struct {
@@ -69,24 +111,27 @@ type Server struct {
 	ctrl  net.Listener
 	rails []net.Listener
 	specs []RailSpec
+	opts  Options
 
 	mu     sync.Mutex
 	closed bool
 }
 
 // Listen starts a server for the given engine: a control listener on
-// ctrlAddr plus one listener per rail spec.
-func Listen(eng *core.Engine, name, ctrlAddr string, rails []RailSpec) (*Server, error) {
+// ctrlAddr plus one listener per rail spec. ctx bounds the listener
+// setup; opts.HandshakeTimeout governs each subsequent Accept.
+func Listen(ctx context.Context, eng *core.Engine, name, ctrlAddr string, rails []RailSpec, opts Options) (*Server, error) {
 	if len(rails) == 0 {
 		return nil, fmt.Errorf("session: no rails offered")
 	}
-	ctrl, err := net.Listen("tcp", ctrlAddr)
+	var lc net.ListenConfig
+	ctrl, err := lc.Listen(ctx, "tcp", ctrlAddr)
 	if err != nil {
 		return nil, fmt.Errorf("session: control listen: %w", err)
 	}
-	s := &Server{name: name, eng: eng, ctrl: ctrl, specs: rails}
+	s := &Server{name: name, eng: eng, ctrl: ctrl, specs: rails, opts: opts}
 	for i, spec := range rails {
-		l, err := net.Listen("tcp", spec.Addr)
+		l, err := lc.Listen(ctx, "tcp", spec.Addr)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("session: rail %d listen %s: %w", i, spec.Addr, err)
@@ -100,18 +145,28 @@ func Listen(eng *core.Engine, name, ctrlAddr string, rails []RailSpec) (*Server,
 func (s *Server) ControlAddr() string { return s.ctrl.Addr().String() }
 
 // Accept negotiates one incoming session and returns the gate to the
-// peer plus the peer's name. Rails are attached in spec order.
-func (s *Server) Accept() (*core.Gate, string, error) {
-	conn, err := s.ctrl.Accept()
+// peer plus the peer's name. Rails are attached in spec order. Waiting
+// for a client is bounded only by ctx (a server may listen
+// indefinitely); once a client connects, the negotiation must finish
+// within the server's HandshakeTimeout, ctx permitting.
+func (s *Server) Accept(ctx context.Context) (*core.Gate, string, error) {
+	ctxDeadline, _ := ctx.Deadline() // zero: wait for a client as long as ctx allows
+	conn, err := acceptConn(ctx, s.ctrl, ctxDeadline)
 	if err != nil {
 		return nil, "", fmt.Errorf("session: accept control: %w", err)
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	hsDeadline := s.opts.handshakeDeadline(ctx)
+	// Deadline first, guard second (the netx.AcceptConn order): armed the
+	// other way round, a cancel poke firing in between would be
+	// overwritten and the handshake would block to the full timeout.
+	conn.SetDeadline(hsDeadline)
+	stop := guardCtx(ctx, conn)
+	defer stop()
 	r := bufio.NewReader(conn)
 	var cli hello
 	if err := readJSON(r, &cli); err != nil {
-		return nil, "", fmt.Errorf("session: read client hello: %w", err)
+		return nil, "", fmt.Errorf("session: read client hello: %w", ctxErrOr(ctx, err))
 	}
 	if cli.Version != Version {
 		writeJSON(conn, hello{Version: Version, Name: s.name})
@@ -130,27 +185,56 @@ func (s *Server) Accept() (*core.Gate, string, error) {
 	if err := writeJSON(conn, srv); err != nil {
 		return nil, "", fmt.Errorf("session: write server hello: %w", err)
 	}
-	gate := s.eng.NewGate(cli.Name)
+	// Bring every rail connection up and authenticate it before touching
+	// the engine: a mid-handshake failure or ctx cancellation must not
+	// leave a half-railed gate registered (the engine has no gate
+	// removal), so the gate is created only once the whole handshake has
+	// succeeded and every failure path closes the accumulated conns.
+	conns := make([]net.Conn, 0, len(s.specs))
+	closeConns := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
 	for i := range s.specs {
-		rc, err := s.rails[i].Accept()
+		rc, err := acceptConn(ctx, s.rails[i], hsDeadline)
 		if err != nil {
+			closeConns()
 			return nil, "", fmt.Errorf("session: accept rail %d: %w", i, err)
 		}
-		rc.SetDeadline(time.Now().Add(30 * time.Second))
+		rc.SetDeadline(hsDeadline)
+		railStop := guardCtx(ctx, rc)
 		var pre preamble
 		// The preamble must be read without buffering ahead: engine
 		// frames may already be queued behind it on this connection,
 		// and a buffered reader would swallow them before the driver
 		// takes over the socket.
 		if err := readJSONUnbuffered(rc, &pre); err != nil {
+			railStop()
 			rc.Close()
-			return nil, "", fmt.Errorf("session: rail %d preamble: %w", i, err)
+			closeConns()
+			return nil, "", fmt.Errorf("session: rail %d preamble: %w", i, ctxErrOr(ctx, err))
 		}
 		if pre.Token != token || pre.Rail != i {
+			railStop()
 			rc.Close()
+			closeConns()
 			return nil, "", fmt.Errorf("session: rail %d bad preamble (rail %d)", i, pre.Rail)
 		}
+		// A false return means ctx was cancelled and its deadline poke is
+		// running (or already ran): it could land after the clear below
+		// and poison the rail for the driver. The handshake is void
+		// anyway — abort with ctx's error.
+		if !railStop() {
+			rc.Close()
+			closeConns()
+			return nil, "", fmt.Errorf("session: rail %d: %w", i, ctx.Err())
+		}
 		rc.SetDeadline(time.Time{})
+		conns = append(conns, rc)
+	}
+	gate := s.eng.NewGate(cli.Name)
+	for i, rc := range conns {
 		gate.AddRail(tcpdrv.New(rc, tcpdrv.Options{Profile: s.specs[i].Profile}))
 	}
 	return gate, cli.Name, nil
@@ -174,20 +258,27 @@ func (s *Server) Close() error {
 }
 
 // Connect dials a server's control address and brings up every offered
-// rail, returning the gate and the server's name.
-func Connect(eng *core.Engine, name, ctrlAddr string) (*core.Gate, string, error) {
-	conn, err := net.DialTimeout("tcp", ctrlAddr, 30*time.Second)
+// rail, returning the gate and the server's name. The whole negotiation
+// is bounded by opts.HandshakeTimeout and by ctx, whichever is tighter;
+// ctx cancellation pokes the sockets' deadlines so blocked dials and
+// reads fail promptly with ctx's error.
+func Connect(ctx context.Context, eng *core.Engine, name, ctrlAddr string, opts Options) (*core.Gate, string, error) {
+	hsDeadline := opts.handshakeDeadline(ctx)
+	dialer := net.Dialer{Deadline: hsDeadline}
+	conn, err := dialer.DialContext(ctx, "tcp", ctrlAddr)
 	if err != nil {
-		return nil, "", fmt.Errorf("session: dial control %s: %w", ctrlAddr, err)
+		return nil, "", fmt.Errorf("session: dial control %s: %w", ctrlAddr, ctxErrOr(ctx, err))
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	conn.SetDeadline(hsDeadline) // before arming the guard; see Accept
+	stop := guardCtx(ctx, conn)
+	defer stop()
 	if err := writeJSON(conn, hello{Version: Version, Name: name}); err != nil {
-		return nil, "", fmt.Errorf("session: write hello: %w", err)
+		return nil, "", fmt.Errorf("session: write hello: %w", ctxErrOr(ctx, err))
 	}
 	var srv hello
 	if err := readJSON(bufio.NewReader(conn), &srv); err != nil {
-		return nil, "", fmt.Errorf("session: read server hello: %w", err)
+		return nil, "", fmt.Errorf("session: read server hello: %w", ctxErrOr(ctx, err))
 	}
 	if srv.Version != Version {
 		return nil, "", fmt.Errorf("session: version mismatch: server %d, client %d", srv.Version, Version)
@@ -195,16 +286,42 @@ func Connect(eng *core.Engine, name, ctrlAddr string) (*core.Gate, string, error
 	if len(srv.Rails) == 0 {
 		return nil, "", fmt.Errorf("session: server offered no rails")
 	}
-	gate := eng.NewGate(srv.Name)
+	// As in Accept: dial and authenticate every rail before creating the
+	// gate, so a failure mid-bring-up leaks neither conns nor a
+	// half-railed engine gate.
+	conns := make([]net.Conn, 0, len(srv.Rails))
+	closeConns := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
 	for i, ri := range srv.Rails {
-		rc, err := net.DialTimeout("tcp", ri.Addr, 30*time.Second)
+		rc, err := dialer.DialContext(ctx, "tcp", ri.Addr)
 		if err != nil {
-			return nil, "", fmt.Errorf("session: dial rail %d %s: %w", i, ri.Addr, err)
+			closeConns()
+			return nil, "", fmt.Errorf("session: dial rail %d %s: %w", i, ri.Addr, ctxErrOr(ctx, err))
 		}
+		rc.SetDeadline(hsDeadline)
+		railStop := guardCtx(ctx, rc)
 		if err := writeJSON(rc, preamble{Token: srv.Token, Rail: i}); err != nil {
+			railStop()
 			rc.Close()
-			return nil, "", fmt.Errorf("session: rail %d preamble: %w", i, err)
+			closeConns()
+			return nil, "", fmt.Errorf("session: rail %d preamble: %w", i, ctxErrOr(ctx, err))
 		}
+		// As in Accept: a false return means the cancel poke is in
+		// flight and could poison the cleared deadline under the driver.
+		if !railStop() {
+			rc.Close()
+			closeConns()
+			return nil, "", fmt.Errorf("session: rail %d: %w", i, ctx.Err())
+		}
+		rc.SetDeadline(time.Time{})
+		conns = append(conns, rc)
+	}
+	gate := eng.NewGate(srv.Name)
+	for i, rc := range conns {
+		ri := srv.Rails[i]
 		prof := core.Profile{
 			Name: ri.Name, Latency: time.Duration(ri.LatencyNS), Bandwidth: ri.BandwidthBS,
 			EagerMax: ri.EagerMax, PIOMax: ri.PIOMax,

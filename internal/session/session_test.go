@@ -3,6 +3,7 @@ package session
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -31,7 +32,7 @@ func twoRails() []RailSpec {
 
 func TestSessionBringup(t *testing.T) {
 	engA, engB := engines(t)
-	srv, err := Listen(engA, "alpha", "127.0.0.1:0", twoRails())
+	srv, err := Listen(context.Background(), engA, "alpha", "127.0.0.1:0", twoRails(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,10 +45,10 @@ func TestSessionBringup(t *testing.T) {
 	}
 	accepted := make(chan acceptResult, 1)
 	go func() {
-		g, p, err := srv.Accept()
+		g, p, err := srv.Accept(context.Background())
 		accepted <- acceptResult{g, p, err}
 	}()
-	gateBA, srvName, err := Connect(engB, "beta", srv.ControlAddr())
+	gateBA, srvName, err := Connect(context.Background(), engB, "beta", srv.ControlAddr(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,14 +102,14 @@ func TestSessionBringup(t *testing.T) {
 
 func TestSessionVersionMismatch(t *testing.T) {
 	engA, _ := engines(t)
-	srv, err := Listen(engA, "alpha", "127.0.0.1:0", twoRails())
+	srv, err := Listen(context.Background(), engA, "alpha", "127.0.0.1:0", twoRails(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
 	errs := make(chan error, 1)
 	go func() {
-		_, _, err := srv.Accept()
+		_, _, err := srv.Accept(context.Background())
 		errs <- err
 	}()
 	conn, err := net.Dial("tcp", srv.ControlAddr())
@@ -127,14 +128,14 @@ func TestSessionVersionMismatch(t *testing.T) {
 func TestSessionBadRailToken(t *testing.T) {
 	engA, engB := engines(t)
 	_ = engB
-	srv, err := Listen(engA, "alpha", "127.0.0.1:0", twoRails()[:1])
+	srv, err := Listen(context.Background(), engA, "alpha", "127.0.0.1:0", twoRails()[:1], Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
 	errs := make(chan error, 1)
 	go func() {
-		_, _, err := srv.Accept()
+		_, _, err := srv.Accept(context.Background())
 		errs <- err
 	}()
 	conn, err := net.Dial("tcp", srv.ControlAddr())
@@ -164,14 +165,14 @@ func TestSessionBadRailToken(t *testing.T) {
 
 func TestListenRequiresRails(t *testing.T) {
 	engA, _ := engines(t)
-	if _, err := Listen(engA, "a", "127.0.0.1:0", nil); err == nil {
+	if _, err := Listen(context.Background(), engA, "a", "127.0.0.1:0", nil, Options{}); err == nil {
 		t.Fatal("no rails accepted")
 	}
 }
 
 func TestConnectRefused(t *testing.T) {
 	_, engB := engines(t)
-	if _, _, err := Connect(engB, "b", "127.0.0.1:1"); err == nil {
+	if _, _, err := Connect(context.Background(), engB, "b", "127.0.0.1:1", Options{}); err == nil {
 		t.Fatal("dial to closed port succeeded")
 	}
 }
@@ -185,7 +186,7 @@ func readJSONConn(c net.Conn, v any) error {
 // buffer ahead.
 func TestFramesBehindPreambleSurvive(t *testing.T) {
 	engA, engB := engines(t)
-	srv, err := Listen(engA, "alpha", "127.0.0.1:0", twoRails()[:1])
+	srv, err := Listen(context.Background(), engA, "alpha", "127.0.0.1:0", twoRails()[:1], Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestFramesBehindPreambleSurvive(t *testing.T) {
 	}
 	accepted := make(chan acceptResult, 1)
 	go func() {
-		g, _, err := srv.Accept()
+		g, _, err := srv.Accept(context.Background())
 		accepted <- acceptResult{g, err}
 	}()
 	// Manual client: hello on the control conn...
@@ -256,7 +257,7 @@ func TestFramesBehindPreambleSurvive(t *testing.T) {
 // instead of hanging forever.
 func TestDeadPeerFailsWaiters(t *testing.T) {
 	engA, engB := engines(t)
-	srv, err := Listen(engA, "alpha", "127.0.0.1:0", twoRails())
+	srv, err := Listen(context.Background(), engA, "alpha", "127.0.0.1:0", twoRails(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,10 +268,10 @@ func TestDeadPeerFailsWaiters(t *testing.T) {
 	}
 	accepted := make(chan acceptResult, 1)
 	go func() {
-		g, _, err := srv.Accept()
+		g, _, err := srv.Accept(context.Background())
 		accepted <- acceptResult{g, err}
 	}()
-	if _, _, err := Connect(engB, "beta", srv.ControlAddr()); err != nil {
+	if _, _, err := Connect(context.Background(), engB, "beta", srv.ControlAddr(), Options{}); err != nil {
 		t.Fatal(err)
 	}
 	res := <-accepted

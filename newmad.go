@@ -33,7 +33,9 @@
 package newmad
 
 import (
+	"context"
 	"net"
+	"time"
 
 	"newmad/internal/bench"
 	"newmad/internal/core"
@@ -87,6 +89,21 @@ type (
 
 // New creates an engine.
 func New(cfg Config) *Engine { return core.New(cfg) }
+
+// Request lifecycle errors.
+var (
+	// ErrCanceled reports a request abandoned by Request.Cancel with no
+	// more specific cause.
+	ErrCanceled = core.ErrCanceled
+	// ErrMsgAborted reports a receive whose sender abandoned the message
+	// (a cancelled send, or a rail failure with delivery unknown).
+	ErrMsgAborted = core.ErrMsgAborted
+	// ErrRailDown reports a send attempted on a failed rail.
+	ErrRailDown = core.ErrRailDown
+	// ErrPeerRecvGone reports a send abandoned because the peer
+	// cancelled the matching receive mid-rendezvous.
+	ErrPeerRecvGone = core.ErrPeerRecvGone
+)
 
 // Strategies, in the order the paper develops them.
 
@@ -220,6 +237,27 @@ func ParseCollAlgo(s string) (CollAlgo, error) { return mpl.ParseAlgo(s) }
 // WaitSim parks a simulated process until the requests complete.
 func WaitSim(p *Proc, reqs ...Request) { bench.WaitReqs(p, reqs...) }
 
+// WaitSimCtx parks a simulated process until the requests complete or
+// the virtual-time deadline attached with WithSimDeadline/WithSimTimeout
+// expires — deadlines are read against the simulated clock, not the wall
+// clock.
+func WaitSimCtx(ctx context.Context, p *Proc, reqs ...Request) error {
+	return bench.WaitReqsCtx(ctx, p, reqs...)
+}
+
+// WithSimDeadline attaches an absolute virtual-time deadline to ctx,
+// observed by WaitSimCtx and the *Ctx operations of simulated
+// communicators.
+func WithSimDeadline(ctx context.Context, t des.Time) context.Context {
+	return bench.WithSimDeadline(ctx, t)
+}
+
+// WithSimTimeout attaches a virtual-time deadline d from the process's
+// current virtual now.
+func WithSimTimeout(ctx context.Context, p *Proc, d time.Duration) context.Context {
+	return bench.WithSimTimeout(ctx, p, d)
+}
+
 // Sessions: negotiated multi-rail TCP bring-up between two processes.
 
 // RailSpec declares one rail a session server offers.
@@ -228,16 +266,24 @@ type RailSpec = session.RailSpec
 // SessionServer accepts negotiated multi-rail sessions.
 type SessionServer = session.Server
 
+// SessionOptions parameterizes session establishment — most notably
+// HandshakeTimeout, which replaces the previously hardcoded 30-second
+// socket deadlines.
+type SessionOptions = session.Options
+
 // ListenSession starts a session server: a control listener plus one
-// listener per offered rail. Accept() returns a ready multi-rail gate.
-func ListenSession(eng *Engine, name, ctrlAddr string, rails []RailSpec) (*SessionServer, error) {
-	return session.Listen(eng, name, ctrlAddr, rails)
+// listener per offered rail. Accept(ctx) returns a ready multi-rail
+// gate; waiting for a client is bounded by ctx, the negotiation by
+// opts.HandshakeTimeout.
+func ListenSession(ctx context.Context, eng *Engine, name, ctrlAddr string, rails []RailSpec, opts SessionOptions) (*SessionServer, error) {
+	return session.Listen(ctx, eng, name, ctrlAddr, rails, opts)
 }
 
 // ConnectSession dials a session server and brings up every offered
-// rail, returning the gate and the server's name.
-func ConnectSession(eng *Engine, name, ctrlAddr string) (*Gate, string, error) {
-	return session.Connect(eng, name, ctrlAddr)
+// rail, returning the gate and the server's name. The negotiation is
+// bounded by opts.HandshakeTimeout and ctx, whichever is tighter.
+func ConnectSession(ctx context.Context, eng *Engine, name, ctrlAddr string, opts SessionOptions) (*Gate, string, error) {
+	return session.Connect(ctx, eng, name, ctrlAddr, opts)
 }
 
 // TCP rails (real sockets).
@@ -248,8 +294,19 @@ type TCPOptions = tcpdrv.Options
 // DialTCP connects a TCP rail to addr.
 func DialTCP(addr string, opts TCPOptions) (Driver, error) { return tcpdrv.Dial(addr, opts) }
 
+// DialTCPCtx connects a TCP rail to addr under ctx.
+func DialTCPCtx(ctx context.Context, addr string, opts TCPOptions) (Driver, error) {
+	return tcpdrv.DialCtx(ctx, addr, opts)
+}
+
 // AcceptTCP accepts one TCP rail on l.
 func AcceptTCP(l net.Listener, opts TCPOptions) (Driver, error) { return tcpdrv.Accept(l, opts) }
+
+// AcceptTCPCtx accepts one TCP rail on l under ctx: cancellation pokes
+// the listener deadline so the blocked accept fails promptly.
+func AcceptTCPCtx(ctx context.Context, l net.Listener, opts TCPOptions) (Driver, error) {
+	return tcpdrv.AcceptCtx(ctx, l, opts)
+}
 
 // Tracing.
 

@@ -2,8 +2,11 @@ package newmad_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"net"
 	"testing"
+	"time"
 
 	"newmad"
 )
@@ -129,6 +132,58 @@ func TestPublicAPITCP(t *testing.T) {
 	<-done
 	if !bytes.Equal(recv, msg) {
 		t.Fatal("payload mismatch over TCP facade")
+	}
+}
+
+// TestPublicAPICancelAndDeadlines exercises the context-aware request
+// lifecycle through the facade: virtual-time deadlines via WaitSimCtx,
+// Request.Cancel propagating an abort to the peer, and the negotiated
+// session API's ctx + SessionOptions signatures.
+func TestPublicAPICancelAndDeadlines(t *testing.T) {
+	pair := newmad.NewSimPair(newmad.SimPairConfig{
+		NICs:     []newmad.NICParams{newmad.Myri10G(), newmad.QsNetII()},
+		Strategy: newmad.StrategySplit,
+	})
+	var deadlineErr, recvErr error
+	pair.W.Spawn("deadline", func(p *newmad.Proc) {
+		// Nobody serves tag 1: the wait must expire on the virtual clock.
+		rr := pair.GateBA.Irecv(1, make([]byte, 16))
+		ctx := newmad.WithSimTimeout(context.Background(), p, time.Millisecond)
+		deadlineErr = newmad.WaitSimCtx(ctx, p, rr)
+		rr.Cancel(deadlineErr)
+		// A cancelled send aborts the peer's matching receive.
+		sr := pair.GateBA.Isend(2, make([]byte, 1<<20))
+		sr.Cancel(nil)
+		_ = newmad.WaitSimCtx(context.Background(), p, sr)
+	})
+	pair.W.Spawn("peer", func(p *newmad.Proc) {
+		p.Sleep(5e6) // 5ms: past the deadline and the cancel
+		rr := pair.GateAB.Irecv(2, make([]byte, 1<<20))
+		recvErr = newmad.WaitSimCtx(context.Background(), p, rr)
+	})
+	pair.W.Run()
+	if !errors.Is(deadlineErr, context.DeadlineExceeded) {
+		t.Fatalf("WaitSimCtx = %v, want DeadlineExceeded", deadlineErr)
+	}
+	if !errors.Is(recvErr, newmad.ErrMsgAborted) {
+		t.Fatalf("aborted recv = %v, want ErrMsgAborted", recvErr)
+	}
+}
+
+func TestSessionFacadeCtx(t *testing.T) {
+	eng := newmad.New(newmad.Config{Strategy: newmad.StrategySplit()})
+	defer eng.Close()
+	srv, err := newmad.ListenSession(context.Background(), eng, "srv", "127.0.0.1:0",
+		[]newmad.RailSpec{{Addr: "127.0.0.1:0"}},
+		newmad.SessionOptions{HandshakeTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, _, err := srv.Accept(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Accept with expired ctx = %v", err)
 	}
 }
 
