@@ -7,6 +7,8 @@
 //	nmad-bench -fig fig7       # one figure
 //	nmad-bench -csv -out dir   # write <fig>.csv files into dir
 //	nmad-bench -iters 16       # more timed iterations per point
+//	nmad-bench -emit-json BENCH_6.json  # pinned perf report (exits 1
+//	                           # if an allocation budget is exceeded)
 package main
 
 import (
@@ -30,8 +32,31 @@ func main() {
 		verify   = flag.Bool("verify", false, "verify payload integrity during measurement")
 		check    = flag.Bool("check", false, "evaluate every paper claim and print a pass/fail table")
 		collAlgo = flag.String("coll-algo", "", "force the collective algorithm of ext-coll's selected series (linear, tree, pipeline; default auto)")
+		emitJSON = flag.String("emit-json", "", "write the pinned perf report (BENCH_*.json schema) to this path; exits 1 on an allocation budget regression")
 	)
 	flag.Parse()
+	if *emitJSON != "" {
+		report := bench.BuildPerfReport(bench.Quality{Warmup: *warmup, Iters: *iters, Verify: *verify})
+		f, err := os.Create(*emitJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nmad-bench:", err)
+			os.Exit(1)
+		}
+		werr := report.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "nmad-bench:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *emitJSON)
+		if err := report.CheckBudgets(); err != nil {
+			fmt.Fprintln(os.Stderr, "nmad-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *check {
 		claims := bench.CheckClaims(bench.Quality{Warmup: *warmup, Iters: *iters, Verify: *verify})
 		bench.WriteClaims(os.Stdout, claims)

@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"newmad/internal/core"
+	"newmad/internal/drivers/memdrv"
+	"newmad/internal/mpl"
+	"newmad/internal/strategy"
+)
+
+// This file is the pinned performance trajectory: BuildPerfReport runs a
+// fixed set of headline measurements and serializes them as a
+// BENCH_<n>.json report checked in at the repo root, so every growth
+// step leaves a comparable perf record behind. Three figure families:
+//
+//   - DES figures (pingpong latency, allreduce makespan) are virtual
+//     time — fully deterministic, comparable across machines;
+//   - wall-clock figures (multi-gate send throughput) depend on the
+//     machine and are informational;
+//   - allocation figures (allocs/op on the pooled hot paths) are
+//     deterministic and carry budgets: a report whose measured allocs
+//     exceed a budget is a regression, and nmad-bench -emit-json exits
+//     nonzero.
+
+// PerfSchema identifies the report layout.
+const PerfSchema = "newmad-perf/1"
+
+// LatencyPoint is one DES pingpong measurement.
+type LatencyPoint struct {
+	SizeBytes int     `json:"size_bytes"`
+	HalfRTTNs float64 `json:"half_rtt_ns"`
+}
+
+// MakespanPoint is one DES collective measurement.
+type MakespanPoint struct {
+	Ranks     int     `json:"ranks"`
+	SizeBytes int     `json:"size_bytes"`
+	MeanUs    float64 `json:"mean_us"`
+}
+
+// ThroughputPoint is one wall-clock engine throughput measurement.
+type ThroughputPoint struct {
+	Gates   int     `json:"gates"`
+	MsgsSec float64 `json:"msgs_per_sec"`
+}
+
+// AllocFigure is one allocs-per-operation measurement with its budget.
+type AllocFigure struct {
+	Name        string  `json:"name"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Budget      float64 `json:"budget"`
+}
+
+// PerfReport is the BENCH_*.json document (see README "Performance").
+type PerfReport struct {
+	Schema string `json:"schema"`
+	// DES figures: deterministic virtual time.
+	PingpongLatency   []LatencyPoint  `json:"pingpong_latency"`
+	AllreduceMakespan []MakespanPoint `json:"allreduce_makespan"`
+	// Wall-clock figures: machine-dependent, informational only.
+	MultiGateThroughput []ThroughputPoint `json:"multigate_throughput"`
+	// Allocation figures: deterministic, budgeted.
+	AllocsPerOp []AllocFigure `json:"allocs_per_op"`
+}
+
+// BuildPerfReport runs every figure at quality q.
+func BuildPerfReport(q Quality) *PerfReport {
+	r := &PerfReport{Schema: PerfSchema}
+
+	// DES pingpong over the paper's heterogeneous two-rail platform,
+	// sampled profiles, adaptive stripping — the headline configuration.
+	split := func() core.Strategy { return strategy.NewSplit(strategy.SplitRatio) }
+	p := newPair(split, bothRails(), true)
+	for _, pt := range p.SweepLatency([]int{64, 1 << 10, 64 << 10, 1 << 20}, q.opts(1)) {
+		r.PingpongLatency = append(r.PingpongLatency, LatencyPoint{SizeBytes: pt.X, HalfRTTNs: pt.Y})
+	}
+
+	for _, size := range []int{1 << 10, 64 << 10} {
+		r.AllreduceMakespan = append(r.AllreduceMakespan, MakespanPoint{
+			Ranks: 8, SizeBytes: size,
+			MeanUs: AllreduceMakespan(8, size, mpl.AlgoAuto, q),
+		})
+	}
+
+	for _, gates := range []int{1, 4} {
+		r.MultiGateThroughput = append(r.MultiGateThroughput, ThroughputPoint{
+			Gates: gates, MsgsSec: multiGateThroughput(gates),
+		})
+	}
+
+	r.AllocsPerOp = []AllocFigure{
+		{Name: "memdrv-pingpong", AllocsPerOp: pingpongAllocs(), Budget: 0},
+		{Name: "memdrv-aggregation", AllocsPerOp: aggregationAllocs(), Budget: 0},
+	}
+	return r
+}
+
+// CheckBudgets returns an error naming every allocation figure over its
+// budget.
+func (r *PerfReport) CheckBudgets() error {
+	var over []string
+	for _, f := range r.AllocsPerOp {
+		if f.AllocsPerOp > f.Budget {
+			over = append(over, fmt.Sprintf("%s: %.2f allocs/op (budget %.0f)", f.Name, f.AllocsPerOp, f.Budget))
+		}
+	}
+	if len(over) > 0 {
+		return fmt.Errorf("allocation budget exceeded: %v", over)
+	}
+	return nil
+}
+
+// WriteJSON serializes the report, indented, with a trailing newline.
+func (r *PerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// nullDrv is an event-driven rail that completes every send immediately
+// and discards the bytes: the multi-gate throughput figure isolates the
+// engine's own send path exactly as the core benchmarks do.
+type nullDrv struct {
+	rail int
+	ev   core.Events
+}
+
+func (d *nullDrv) Name() string          { return "null" }
+func (d *nullDrv) Profile() core.Profile { return memdrv.DefaultProfile() }
+func (d *nullDrv) Bind(rail int, ev core.Events) {
+	d.rail, d.ev = rail, ev
+}
+func (d *nullDrv) Send(p *core.Packet) error {
+	d.ev.SendComplete(d.rail)
+	return nil
+}
+func (d *nullDrv) NeedsPoll() bool { return false }
+func (d *nullDrv) Poll()           {}
+func (d *nullDrv) Close() error    { return nil }
+
+// multiGateThroughput measures wall-clock sends per second across gates
+// concurrent sender gates on one engine.
+func multiGateThroughput(gates int) float64 {
+	eng := core.New(core.Config{Strategy: strategy.NewBalance()})
+	payload := make([]byte, 1024)
+	const perGate = 20000
+	done := make(chan struct{}, gates)
+	gs := make([]*core.Gate, gates)
+	for i := range gs {
+		gs[i] = eng.NewGate(fmt.Sprintf("peer%d", i))
+		gs[i].AddRail(&nullDrv{})
+	}
+	start := time.Now()
+	for _, g := range gs {
+		g := g
+		go func() {
+			for i := 0; i < perGate; i++ {
+				sr := g.Isend(1, payload)
+				for !sr.Done() {
+				}
+				sr.Recycle()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for range gs {
+		<-done
+	}
+	elapsed := time.Since(start)
+	return float64(gates*perGate) / elapsed.Seconds()
+}
+
+// memDuo is a two-engine in-memory platform for the allocation figures,
+// mirroring the fixtures of the core alloc-regression tests.
+type memDuo struct {
+	engA, engB     *core.Engine
+	gateAB, gateBA *core.Gate
+	drvA           *memdrv.Driver
+}
+
+func newMemDuo(strat func() core.Strategy) *memDuo {
+	d := &memDuo{
+		engA: core.New(core.Config{Strategy: strat()}),
+		engB: core.New(core.Config{Strategy: strat()}),
+	}
+	d.gateAB = d.engA.NewGate("B")
+	d.gateBA = d.engB.NewGate("A")
+	a, b := memdrv.Pair("perf", memdrv.DefaultProfile())
+	d.gateAB.AddRail(a)
+	d.gateBA.AddRail(b)
+	d.drvA = a
+	return d
+}
+
+func (d *memDuo) pump(reqs ...core.Request) {
+	for {
+		done := true
+		for _, r := range reqs {
+			if !r.Done() {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		d.engA.Poll()
+		d.engB.Poll()
+	}
+}
+
+// pingpongAllocs measures steady-state allocs per full request/reply
+// exchange over memdrv. The hot path is pooled end to end, so the figure
+// is 0 and budgeted at 0.
+func pingpongAllocs() float64 {
+	d := newMemDuo(func() core.Strategy { return strategy.NewBalance() })
+	ping := make([]byte, 1024)
+	pong := make([]byte, 1024)
+	recvA := make([]byte, 1024)
+	recvB := make([]byte, 1024)
+	round := func() {
+		rr := d.gateBA.Irecv(7, recvB)
+		sr := d.gateAB.Isend(7, ping)
+		d.pump(sr, rr)
+		rr2 := d.gateAB.Irecv(9, recvA)
+		sr2 := d.gateBA.Isend(9, pong)
+		d.pump(sr2, rr2)
+		sr.Recycle()
+		rr.Recycle()
+		sr2.Recycle()
+		rr2.Recycle()
+	}
+	for i := 0; i < 100; i++ {
+		round()
+	}
+	return testing.AllocsPerRun(1000, round)
+}
+
+// aggregationAllocs measures steady-state allocs per aggregated flush of
+// four small messages piled behind a held rail.
+func aggregationAllocs() float64 {
+	d := newMemDuo(func() core.Strategy { return strategy.NewAggreg(0) })
+	const k = 4
+	var msgs, recvs [k][]byte
+	for i := range msgs {
+		msgs[i] = make([]byte, 256)
+		recvs[i] = make([]byte, 256)
+	}
+	var srs [k]*core.SendReq
+	var rrs [k]*core.RecvReq
+	round := func() {
+		for i := 0; i < k; i++ {
+			rrs[i] = d.gateBA.Irecv(5, recvs[i])
+		}
+		d.drvA.HoldCompletions()
+		for i := 0; i < k; i++ {
+			srs[i] = d.gateAB.Isend(5, msgs[i])
+		}
+		d.drvA.ReleaseCompletions()
+		for i := 0; i < k; i++ {
+			d.pump(srs[i], rrs[i])
+			srs[i].Recycle()
+			rrs[i].Recycle()
+		}
+	}
+	for i := 0; i < 100; i++ {
+		round()
+	}
+	return testing.AllocsPerRun(1000, round)
+}

@@ -46,11 +46,21 @@ func (u *Unit) String() string {
 // explicitly allows reordering and out-of-order sending). All backlog
 // access happens owning the gate's progress domain, so no internal
 // locking is needed even though gates progress concurrently.
+// The ctrl and segs queues are head-indexed: popping advances a head
+// cursor instead of reslicing the base away, and the queue resets to the
+// start of its backing array when it empties, so a steady
+// produce-consume cycle reuses one allocation forever. Vacated slots are
+// zeroed so drained entries don't pin packets or requests against GC.
 type Backlog struct {
-	gate   *Gate
-	ctrl   []*Packet // ready control packets (RTS is built lazily, CTS here)
-	segs   []*Unit   // pending eager-candidate segments, FIFO
-	bodies []*Unit   // granted rendezvous bodies
+	gate     *Gate
+	ctrl     []*Packet // ready control packets (RTS is built lazily, CTS here)
+	ctrlHead int
+	segs     []*Unit // pending eager-candidate segments, FIFO
+	segHead  int
+	bodies   []*Unit // granted rendezvous bodies
+	// scratch is the reusable unit slice handed to strategies gathering
+	// aggregation candidates (see Scratch).
+	scratch []*Unit
 }
 
 // Gate returns the gate this backlog feeds.
@@ -72,39 +82,110 @@ func (b *Backlog) PushCtrl(p *Packet) { b.ctrl = append(b.ctrl, p) }
 
 // PopCtrl dequeues the next control packet, or nil.
 func (b *Backlog) PopCtrl() *Packet {
-	if len(b.ctrl) == 0 {
+	if b.ctrlHead == len(b.ctrl) {
 		return nil
 	}
-	p := b.ctrl[0]
-	b.ctrl = b.ctrl[1:]
+	p := b.ctrl[b.ctrlHead]
+	b.ctrl[b.ctrlHead] = nil
+	b.ctrlHead++
+	if b.ctrlHead == len(b.ctrl) {
+		b.ctrl = b.ctrl[:0]
+		b.ctrlHead = 0
+	}
 	return p
 }
 
+// clearCtrl drops every queued control packet, releasing each to the
+// packet pool (gate teardown).
+func (b *Backlog) clearCtrl() {
+	for i := b.ctrlHead; i < len(b.ctrl); i++ {
+		b.ctrl[i].Release()
+		b.ctrl[i] = nil
+	}
+	b.ctrl = b.ctrl[:0]
+	b.ctrlHead = 0
+}
+
 // SegCount reports the number of pending segments.
-func (b *Backlog) SegCount() int { return len(b.segs) }
+func (b *Backlog) SegCount() int { return len(b.segs) - b.segHead }
 
 // Seg returns the i-th pending segment without removing it.
-func (b *Backlog) Seg(i int) *Unit { return b.segs[i] }
+func (b *Backlog) Seg(i int) *Unit { return b.segs[b.segHead+i] }
 
 // PushSeg appends a segment to the pending queue.
 func (b *Backlog) PushSeg(u *Unit) { b.segs = append(b.segs, u) }
 
 // PopSeg removes and returns the head segment, or nil.
 func (b *Backlog) PopSeg() *Unit {
-	if len(b.segs) == 0 {
+	if b.segHead == len(b.segs) {
 		return nil
 	}
-	u := b.segs[0]
-	b.segs = b.segs[1:]
+	u := b.segs[b.segHead]
+	b.segs[b.segHead] = nil
+	b.segHead++
+	if b.segHead == len(b.segs) {
+		b.segs = b.segs[:0]
+		b.segHead = 0
+	}
 	return u
 }
 
 // TakeSeg removes and returns the i-th pending segment.
 func (b *Backlog) TakeSeg(i int) *Unit {
-	u := b.segs[i]
-	b.segs = append(b.segs[:i], b.segs[i+1:]...)
+	idx := b.segHead + i
+	u := b.segs[idx]
+	copy(b.segs[idx:], b.segs[idx+1:])
+	b.segs[len(b.segs)-1] = nil
+	b.segs = b.segs[:len(b.segs)-1]
+	if b.segHead == len(b.segs) {
+		b.segs = b.segs[:0]
+		b.segHead = 0
+	}
 	return u
 }
+
+// pendingSegs returns the live span of the segment queue (engine
+// teardown and purge paths; callers must not retain it).
+func (b *Backlog) pendingSegs() []*Unit { return b.segs[b.segHead:] }
+
+// filterSegs keeps only segments for which keep returns true, zeroing
+// the vacated tail slots.
+func (b *Backlog) filterSegs(keep func(*Unit) bool) {
+	live := b.segs[b.segHead:]
+	kept := live[:0]
+	for _, u := range live {
+		if keep(u) {
+			kept = append(kept, u)
+		}
+	}
+	for i := len(kept); i < len(live); i++ {
+		live[i] = nil
+	}
+	b.segs = b.segs[:b.segHead+len(kept)]
+	if b.segHead == len(b.segs) {
+		b.segs = b.segs[:0]
+		b.segHead = 0
+	}
+}
+
+// clearSegs empties the segment queue.
+func (b *Backlog) clearSegs() {
+	for i := b.segHead; i < len(b.segs); i++ {
+		b.segs[i] = nil
+	}
+	b.segs = b.segs[:0]
+	b.segHead = 0
+}
+
+// Scratch returns an empty reusable []*Unit for a strategy assembling an
+// aggregate. Hand the (possibly grown) slice back with StoreScratch once
+// its units are consumed, so the next Schedule call reuses the backing
+// array. The slice is per-backlog, hence per-gate: safe because a
+// strategy runs owning the gate's progress domain.
+func (b *Backlog) Scratch() []*Unit { return b.scratch[:0] }
+
+// StoreScratch records s's backing array for reuse by the next Scratch.
+func (b *Backlog) StoreScratch(s []*Unit) { b.scratch = s[:0] }
 
 // BodyCount reports the number of granted rendezvous bodies.
 func (b *Backlog) BodyCount() int { return len(b.bodies) }
@@ -114,35 +195,44 @@ func (b *Backlog) Body(i int) *Unit { return b.bodies[i] }
 
 // Empty reports whether nothing at all is pending.
 func (b *Backlog) Empty() bool {
-	return len(b.ctrl) == 0 && len(b.segs) == 0 && len(b.bodies) == 0
+	return b.ctrlHead == len(b.ctrl) && b.segHead == len(b.segs) && len(b.bodies) == 0
 }
 
 // MakeEager builds a data packet from one or more pending segments that
-// the caller has popped. With a single unit the payload aliases the
-// application buffer (zero copy). With several, the segments are copied
-// into one contiguous payload of [header|bytes] records — the paper's
-// opportunistic aggregation — and the copy cost is charged to the host
-// CPU.
+// the caller has popped, consuming the units (they return to the unit
+// pool and must not be touched afterwards). With a single unit the
+// payload aliases the application buffer (zero copy). With several, the
+// segments are copied into one contiguous arena-leased payload of
+// [header|bytes] records — the paper's opportunistic aggregation — and
+// the copy cost is charged to the host CPU. The lease is owned by the
+// returned packet and travels with it until the engine releases the
+// packet at send completion or rail failure.
 func (b *Backlog) MakeEager(units ...*Unit) *Packet {
 	if len(units) == 0 {
 		panic("core: MakeEager with no units")
 	}
 	if len(units) == 1 {
 		u := units[0]
-		p := &Packet{Hdr: u.Hdr, Payload: u.Data}
+		p := getPacket()
+		p.Hdr = u.Hdr
 		p.Hdr.Kind = KData
 		p.Hdr.Agg = 0
 		p.Hdr.PayLen = uint32(len(u.Data))
-		p.senders = []senderRef{{req: u.Req, bytes: len(u.Data)}}
+		p.Payload = u.Data
+		p.senders = append(p.senders, senderRef{req: u.Req, bytes: len(u.Data)})
+		putUnit(u)
 		return p
 	}
 	total := 0
 	for _, u := range units {
 		total += HeaderLen + len(u.Data)
 	}
-	payload := make([]byte, total)
+	frame := GetBuf(total)
+	payload := frame.B
 	off := 0
-	p := &Packet{}
+	p := getPacket()
+	p.frame = frame
+	tag, msg := units[0].Hdr.Tag, units[0].Hdr.MsgID
 	for _, u := range units {
 		h := u.Hdr
 		h.Kind = KData
@@ -151,9 +241,10 @@ func (b *Backlog) MakeEager(units ...*Unit) *Packet {
 		off += EncodeHeader(payload[off:], &h)
 		off += copy(payload[off:], u.Data)
 		p.senders = append(p.senders, senderRef{req: u.Req, bytes: len(u.Data)})
+		putUnit(u)
 	}
 	b.gate.eng.clock.Memcpy(total)
-	p.Hdr = Header{Kind: KData, Agg: uint16(len(units)), Tag: units[0].Hdr.Tag, MsgID: units[0].Hdr.MsgID, PayLen: uint32(total)}
+	p.Hdr = Header{Kind: KData, Agg: uint16(len(units)), Tag: tag, MsgID: msg, PayLen: uint32(total)}
 	p.Payload = payload
 	return p
 }
@@ -170,7 +261,10 @@ func (b *Backlog) StartRdv(u *Unit) *Packet {
 	h.Kind = KRTS
 	h.RdvID = u.RdvID
 	h.PayLen = 0
-	return &Packet{Hdr: h, senders: []senderRef{{req: u.Req, bytes: 0}}}
+	p := getPacket()
+	p.Hdr = h
+	p.senders = append(p.senders, senderRef{req: u.Req, bytes: 0})
+	return p
 }
 
 // ChunkFrom carves the next chunk of at most max bytes from body u and
@@ -196,8 +290,10 @@ func (b *Backlog) ChunkFrom(u *Unit, max int) *Packet {
 	h.RdvID = u.RdvID
 	h.Off = uint64(off)
 	h.PayLen = uint32(n)
-	p := &Packet{Hdr: h, Payload: u.Data[off : off+n]}
-	p.senders = []senderRef{{req: u.Req, bytes: n}}
+	p := getPacket()
+	p.Hdr = h
+	p.Payload = u.Data[off : off+n]
+	p.senders = append(p.senders, senderRef{req: u.Req, bytes: n})
 	u.inflight++
 	if len(u.spans) == 0 {
 		b.removeBody(u)
@@ -238,8 +334,10 @@ func (b *Backlog) ChunkSpan(u *Unit, from, to int) *Packet {
 	h.RdvID = u.RdvID
 	h.Off = uint64(from)
 	h.PayLen = uint32(to - from)
-	p := &Packet{Hdr: h, Payload: u.Data[from:to]}
-	p.senders = []senderRef{{req: u.Req, bytes: to - from}}
+	p := getPacket()
+	p.Hdr = h
+	p.Payload = u.Data[from:to]
+	p.senders = append(p.senders, senderRef{req: u.Req, bytes: to - from})
 	u.inflight++
 	if len(u.spans) == 0 {
 		b.removeBody(u)
@@ -278,11 +376,14 @@ func (b *Backlog) regrant(u *Unit, from, to int) {
 	b.bodies = append(b.bodies, u)
 }
 
-// removeBody drops u from the granted list.
+// removeBody drops u from the granted list, zeroing the vacated tail
+// slot so the drained body isn't pinned against GC.
 func (b *Backlog) removeBody(u *Unit) {
 	for i, bu := range b.bodies {
 		if bu == u {
-			b.bodies = append(b.bodies[:i], b.bodies[i+1:]...)
+			copy(b.bodies[i:], b.bodies[i+1:])
+			b.bodies[len(b.bodies)-1] = nil
+			b.bodies = b.bodies[:len(b.bodies)-1]
 			return
 		}
 	}

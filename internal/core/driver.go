@@ -44,6 +44,20 @@ type Events interface {
 	RailDown(rail int, err error)
 }
 
+// BatchEvents is the optional batched extension of Events: drivers that
+// accumulate several completions and arrivals between polls (real
+// sockets) may deliver them as one EventBatch, costing a single progress
+// domain acquisition for the whole batch instead of one wakeup per
+// packet. Ownership of the batch transfers with the call; the sink
+// recycles it after dispatch. The engine's rail event sink implements
+// this; drivers should type-assert and fall back to per-event delivery.
+type BatchEvents interface {
+	Events
+	// DeliverBatch dispatches the batch's events in order, as if each
+	// had been delivered through the matching Events callback.
+	DeliverBatch(rail int, batch *EventBatch)
+}
+
 // Driver is the transmit-layer interface: one point-to-point rail to a
 // peer. The engine posts at most one outstanding Send per driver and
 // waits for SendComplete before posting the next, mirroring

@@ -439,6 +439,10 @@ func (e *Engine) sendComplete(r *Rail) {
 			ref.req.maybeComplete()
 		}
 	}
+	// The packet is drained: the driver is done with it and completion
+	// has been credited, so its lease (aggregation staging, if any)
+	// returns to the arena.
+	p.Release()
 	if r.down.Load() {
 		// The rail was MarkDown'd with this packet in flight; now that
 		// it drained, finish retiring the rail.
@@ -490,10 +494,13 @@ func (e *Engine) failRail(r *Rail, p *Packet, err error) {
 				ref.req.complete(err)
 			}
 		}
+		p.Release()
 		e.failGate(g, err)
 		return
 	}
-	e.requeue(g, p)
+	if !e.requeue(g, p) {
+		p.Release()
+	}
 	e.kick(g)
 }
 
@@ -528,6 +535,11 @@ func (e *Engine) railFailure(r *Rail, err error) {
 				e.failSend(g, ref.req, inErr)
 			}
 		}
+		// Deliberately NOT released: the failure arrived outside the
+		// send path (dead reader, async RailDown), so the driver's
+		// writer may still be transmitting this packet. Returning its
+		// lease to the arena here could hand the bytes to a new owner
+		// mid-write; the abandoned packet goes to the GC instead.
 	} else {
 		e.trace("fail", g, r.index, Header{}, 0)
 	}
@@ -579,14 +591,19 @@ func (e *Engine) failGate(g *Gate, err error) {
 				ref.req.complete(err)
 			}
 		}
+		// Safe to release: every path reaching failGate with a live
+		// current has quiesced the rail's driver first (engine Close
+		// joins the I/O goroutines before failing the gate; failed
+		// rails null their current at the failure site).
+		p.Release()
 	}
 	b := g.backlog
-	for _, u := range b.segs {
+	for _, u := range b.pendingSegs() {
 		if u.Req != nil {
 			u.Req.complete(err)
 		}
 	}
-	b.segs = nil
+	b.clearSegs()
 	disc, _ := e.strat.(Discarder)
 	for _, u := range b.bodies {
 		if disc != nil {
@@ -597,7 +614,7 @@ func (e *Engine) failGate(g *Gate, err error) {
 		}
 	}
 	b.bodies = nil
-	b.ctrl = nil
+	b.clearCtrl()
 	for id, u := range g.rdvSend {
 		if u.Req != nil {
 			u.Req.complete(err)
@@ -632,7 +649,9 @@ func (e *Engine) failSend(g *Gate, req *SendReq, err error) {
 		// The peer may hold partial data for this message and would
 		// otherwise wait forever for the rest; the caller's kick
 		// flushes this on the surviving rails.
-		g.backlog.PushCtrl(&Packet{Hdr: Header{Kind: KAbort, Tag: req.tag, MsgID: req.msg}})
+		abort := getPacket()
+		abort.Hdr = Header{Kind: KAbort, Tag: req.tag, MsgID: req.msg}
+		g.backlog.PushCtrl(abort)
 	}
 	req.maybeComplete()
 }
@@ -644,13 +663,7 @@ func (e *Engine) failSend(g *Gate, req *SendReq, err error) {
 func (e *Engine) purgeRequest(g *Gate, req *SendReq) {
 	b := g.backlog
 	disc, _ := e.strat.(Discarder)
-	keepSegs := b.segs[:0]
-	for _, u := range b.segs {
-		if u.Req != req {
-			keepSegs = append(keepSegs, u)
-		}
-	}
-	b.segs = keepSegs
+	b.filterSegs(func(u *Unit) bool { return u.Req != req })
 	keepBodies := b.bodies[:0]
 	for _, u := range b.bodies {
 		if u.Req != req {
@@ -660,6 +673,9 @@ func (e *Engine) purgeRequest(g *Gate, req *SendReq) {
 		if disc != nil {
 			disc.Discard(b, u)
 		}
+	}
+	for i := len(keepBodies); i < len(b.bodies); i++ {
+		b.bodies[i] = nil
 	}
 	b.bodies = keepBodies
 	for id, u := range g.rdvSend {
@@ -672,13 +688,16 @@ func (e *Engine) purgeRequest(g *Gate, req *SendReq) {
 	}
 }
 
-// requeue returns a failed packet's contents to the backlog.
-func (e *Engine) requeue(g *Gate, p *Packet) {
+// requeue returns a failed packet's contents to the backlog. The return
+// reports whether the packet itself was retained (control packets are
+// re-queued as-is); when false the caller owns the packet and releases
+// it.
+func (e *Engine) requeue(g *Gate, p *Packet) (retained bool) {
 	switch p.Hdr.Kind {
 	case KChunk:
 		u := g.rdvSend[p.Hdr.RdvID]
 		if u == nil {
-			return
+			return false
 		}
 		u.inflight--
 		off := int(p.Hdr.Off)
@@ -693,13 +712,21 @@ func (e *Engine) requeue(g *Gate, p *Packet) {
 		if u != nil {
 			h := u.Hdr
 			h.Kind = KData
-			e.strat.Submit(g.backlog, &Unit{Req: u.Req, Hdr: h, Data: u.Data})
+			ru := getUnit()
+			ru.Req, ru.Hdr, ru.Data = u.Req, h, u.Data
+			e.strat.Submit(g.backlog, ru)
 		}
 	case KData:
 		units, err := unpackData(p)
 		for _, u := range units {
 			if u.Req != nil && u.Req.failErr != nil {
 				continue // doomed request: don't resubmit its buffers
+			}
+			if p.frame != nil {
+				// The record aliases the packet's arena lease, which is
+				// released when this function returns; the resubmitted
+				// unit needs bytes that outlive it.
+				u.Data = append([]byte(nil), u.Data...)
 			}
 			e.strat.Submit(g.backlog, u)
 			if u.Req != nil {
@@ -718,7 +745,9 @@ func (e *Engine) requeue(g *Gate, p *Packet) {
 		}
 	case KCTS, KAbort, KRecvAbort:
 		g.backlog.PushCtrl(p)
+		return true
 	}
+	return false
 }
 
 // unpackData reconstructs units from a (possibly aggregated) data packet.
@@ -770,16 +799,29 @@ func (e *Engine) arrive(r *Rail, p *Packet) {
 	e.trace("arrive", g, r.index, p.Hdr, len(p.Payload))
 	switch p.Hdr.Kind {
 	case KData:
-		// unpackData is the one place aggregate framing is decoded (with
-		// its overflow-safe bounds checks); records before a corruption
-		// point are still delivered, then the rail fails.
-		units, err := unpackData(p)
-		for _, u := range units {
-			e.arriveData(g, u.Hdr, u.Data)
-		}
-		if err != nil {
-			e.railFailure(r, fmt.Errorf("core: %w", err))
+		if p.Hdr.Agg == 0 {
+			e.arriveData(g, p.Hdr, p.Payload)
 			return
+		}
+		// Aggregate records are iterated in place (same overflow-safe
+		// bounds checks as unpackData, without materializing units);
+		// records before a corruption point are still delivered, then
+		// the rail fails.
+		buf := p.Payload
+		for i := 0; i < int(p.Hdr.Agg); i++ {
+			h, err := DecodeHeader(buf)
+			if err != nil {
+				e.railFailure(r, fmt.Errorf("core: corrupt aggregate record %d: %w", i, err))
+				return
+			}
+			// uint64 arithmetic: immune to 32-bit int wraparound.
+			if uint64(HeaderLen)+uint64(h.PayLen) > uint64(len(buf)) {
+				e.railFailure(r, fmt.Errorf("core: aggregate record %d overruns packet (%d+%d > %d)", i, HeaderLen, h.PayLen, len(buf)))
+				return
+			}
+			end := HeaderLen + int(h.PayLen)
+			e.arriveData(g, h, buf[HeaderLen:end])
+			buf = buf[end:]
 		}
 	case KRTS:
 		if p.Hdr.RdvID > g.maxRdvSeen {
@@ -796,7 +838,9 @@ func (e *Engine) arrive(r *Rail, p *Packet) {
 				// cancelled receive must not park its peer's Send
 				// forever — instead of letting the straggler RTS sit in
 				// the unexpected buffer.
-				g.backlog.PushCtrl(&Packet{Hdr: Header{Kind: KRecvAbort, Tag: p.Hdr.Tag, MsgID: p.Hdr.MsgID}})
+				ab := getPacket()
+				ab.Hdr = Header{Kind: KRecvAbort, Tag: p.Hdr.Tag, MsgID: p.Hdr.MsgID}
+				g.backlog.PushCtrl(ab)
 				e.kick(g)
 				return
 			}
@@ -864,6 +908,10 @@ func (e *Engine) arrive(r *Rail, p *Packet) {
 		}
 		em := g.early(p.Hdr.Tag, p.Hdr.MsgID)
 		em.aborted = true
+		for i, q := range em.data {
+			q.Release()
+			em.data[i] = nil
+		}
 		em.data = nil
 		em.rts = nil
 	case KRecvAbort:
@@ -901,11 +949,15 @@ func (e *Engine) arriveData(g *Gate, h Header, payload []byte) {
 		// would leak it forever, since no future receive can match it.
 		return
 	}
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
-	e.clock.Memcpy(len(cp))
+	f := GetBuf(len(payload))
+	copy(f.B, payload)
+	e.clock.Memcpy(len(payload))
+	q := getPacket()
+	q.Hdr = h
+	q.Payload = f.B
+	q.frame = f
 	em := g.early(h.Tag, h.MsgID)
-	em.data = append(em.data, &Packet{Hdr: h, Payload: cp})
+	em.data = append(em.data, q)
 }
 
 // placeData copies an eager segment into the receive buffers. Out-of-
@@ -943,7 +995,9 @@ func (e *Engine) acceptRdv(g *Gate, req *RecvReq, h Header) {
 	cts := h
 	cts.Kind = KCTS
 	cts.PayLen = 0
-	g.backlog.PushCtrl(&Packet{Hdr: cts})
+	cp := getPacket()
+	cp.Hdr = cts
+	g.backlog.PushCtrl(cp)
 }
 
 // failRecv error-completes a receive, tearing down any rendezvous sinks
@@ -963,6 +1017,16 @@ func (e *Engine) failRecv(g *Gate, req *RecvReq, err error) {
 // finishRecv completes a receive once all bytes are in.
 func (e *Engine) finishRecv(g *Gate, req *RecvReq) {
 	if req.msgLen >= 0 && int64(req.gotBytes) >= req.msgLen {
+		// In correct traffic every rendezvous sink of the request has
+		// drained by the time msgLen is reached; malformed overlapping
+		// segment claims could leave one. Tear any remainder down so no
+		// later chunk writes into buffers the application (or the
+		// request pool) is about to reclaim.
+		for id, sink := range g.rdvRecv {
+			if sink.req == req {
+				delete(g.rdvRecv, id)
+			}
+		}
 		g.dropPosted(req)
 		g.stats.MsgsRecv++
 		g.stats.BytesRecv += uint64(req.gotBytes)

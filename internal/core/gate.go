@@ -138,7 +138,42 @@ func (g *Gate) upRails() int {
 // Isend submits a single-segment message on tag and returns its request.
 // data must stay untouched until the request completes.
 func (g *Gate) Isend(tag uint32, data []byte) *SendReq {
-	return g.Isendv(tag, [][]byte{data})
+	g.dom.Lock()
+	defer g.dom.Unlock()
+	return g.isend1(tag, data)
+}
+
+// isend1 is the single-segment fast path: it builds the one unit
+// directly from pooled structs, skipping Isendv's scatter-slice
+// wrapping, so a steady-state send allocates nothing. Caller owns the
+// gate's domain.
+func (g *Gate) isend1(tag uint32, data []byte) *SendReq {
+	if g.dead != nil {
+		req := getSendReq()
+		req.gate, req.tag = g, tag
+		req.complete(g.dead)
+		return req
+	}
+	msg := g.sendMsgID[tag]
+	g.sendMsgID[tag] = msg + 1
+	g.stats.MsgsSent++
+	req := getSendReq()
+	req.gate, req.tag, req.msg = g, tag, msg
+	req.totalBytes, req.queuedBytes = len(data), len(data)
+	u := getUnit()
+	u.Req = req
+	u.Data = data
+	u.Hdr = Header{
+		Kind:    KData,
+		Tag:     tag,
+		MsgID:   msg,
+		MsgSegs: 1,
+		MsgLen:  uint64(len(data)),
+		SegLen:  uint64(len(data)),
+	}
+	g.eng.strat.Submit(g.backlog, u)
+	g.eng.kick(g)
+	return req
 }
 
 // Isendv submits one message made of the given segments, in order. This
@@ -154,7 +189,8 @@ func (g *Gate) Isendv(tag uint32, segs [][]byte) *SendReq {
 // isendv is Isendv's body; caller owns the gate's domain.
 func (g *Gate) isendv(tag uint32, segs [][]byte) *SendReq {
 	if g.dead != nil {
-		req := &SendReq{gate: g, tag: tag}
+		req := getSendReq()
+		req.gate, req.tag = g, tag
 		req.complete(g.dead)
 		return req
 	}
@@ -171,22 +207,23 @@ func (g *Gate) isendv(tag uint32, segs [][]byte) *SendReq {
 	msg := g.sendMsgID[tag]
 	g.sendMsgID[tag] = msg + 1
 	g.stats.MsgsSent++
-	req := &SendReq{gate: g, tag: tag, msg: msg, totalBytes: total, queuedBytes: total}
+	req := getSendReq()
+	req.gate, req.tag, req.msg = g, tag, msg
+	req.totalBytes, req.queuedBytes = total, total
 	off := uint64(0)
 	for i, s := range segs {
-		u := &Unit{
-			Req:  req,
-			Data: s,
-			Hdr: Header{
-				Kind:     KData,
-				Tag:      tag,
-				MsgID:    msg,
-				SegIndex: uint16(i),
-				MsgSegs:  uint16(len(segs)),
-				MsgLen:   uint64(total),
-				MsgOff:   off,
-				SegLen:   uint64(len(s)),
-			},
+		u := getUnit()
+		u.Req = req
+		u.Data = s
+		u.Hdr = Header{
+			Kind:     KData,
+			Tag:      tag,
+			MsgID:    msg,
+			SegIndex: uint16(i),
+			MsgSegs:  uint16(len(segs)),
+			MsgLen:   uint64(total),
+			MsgOff:   off,
+			SegLen:   uint64(len(s)),
 		}
 		off += uint64(len(s))
 		g.eng.strat.Submit(g.backlog, u)
@@ -204,7 +241,18 @@ func (g *Gate) isendv(tag uint32, segs [][]byte) *SendReq {
 // enough for the whole message; the request completes once every byte
 // (across segments, aggregates and rendezvous chunks) has landed.
 func (g *Gate) Irecv(tag uint32, buf []byte) *RecvReq {
-	return g.Irecvv(tag, [][]byte{buf})
+	g.dom.Lock()
+	defer g.dom.Unlock()
+	return g.irecv1(tag, buf)
+}
+
+// irecv1 is the single-buffer fast path: the pooled request's inline
+// one-element scatter array is used, so posting a plain receive
+// allocates nothing. Caller owns the gate's domain.
+func (g *Gate) irecv1(tag uint32, buf []byte) *RecvReq {
+	req := getRecvReq()
+	req.buf1[0] = buf
+	return g.postRecv(tag, req, req.buf1[:1], len(buf))
 }
 
 // Irecvv posts a scatter receive: the next message on tag lands across
@@ -219,13 +267,21 @@ func (g *Gate) Irecvv(tag uint32, bufs [][]byte) *RecvReq {
 
 // irecvv is Irecvv's body; caller owns the gate's domain.
 func (g *Gate) irecvv(tag uint32, bufs [][]byte) *RecvReq {
-	msg := g.recvMsgID[tag]
-	g.recvMsgID[tag] = msg + 1
 	capacity := 0
 	for _, b := range bufs {
 		capacity += len(b)
 	}
-	req := &RecvReq{gate: g, tag: tag, msg: msg, bufs: bufs, capacity: capacity, msgLen: -1}
+	return g.postRecv(tag, getRecvReq(), bufs, capacity)
+}
+
+// postRecv finishes posting a pooled receive request: match-table entry,
+// unexpected-buffer replay, dead-gate handling. Caller owns the gate's
+// domain.
+func (g *Gate) postRecv(tag uint32, req *RecvReq, bufs [][]byte, capacity int) *RecvReq {
+	msg := g.recvMsgID[tag]
+	g.recvMsgID[tag] = msg + 1
+	req.gate, req.tag, req.msg = g, tag, msg
+	req.bufs, req.capacity, req.msgLen = bufs, capacity, -1
 	g.posted[tag] = append(g.posted[tag], req)
 	if em, ok := g.unexpected[msgKey{tag, msg}]; ok {
 		delete(g.unexpected, msgKey{tag, msg})
@@ -237,20 +293,28 @@ func (g *Gate) irecvv(tag uint32, bufs [][]byte) *RecvReq {
 		// A buffered record can error-complete the request (capacity or
 		// offset violations); replaying further records into a completed
 		// request would register rendezvous sinks against buffers the
-		// application has already reclaimed.
-		for _, p := range em.data {
-			if req.Done() {
-				return req
+		// application has already reclaimed. Every buffered packet's
+		// arena lease is released here — replayed or not — since the
+		// buffer entry is being consumed either way.
+		for i, p := range em.data {
+			if !req.Done() {
+				g.eng.placeData(g, req, p.Hdr, p.Payload)
 			}
-			g.eng.placeData(g, req, p.Hdr, p.Payload)
+			p.Release()
+			em.data[i] = nil
 		}
+		done := req.Done()
 		for _, h := range em.rts {
-			if req.Done() {
+			if done || req.Done() {
 				return req
 			}
 			g.eng.acceptRdv(g, req, h)
 		}
-		g.eng.kick(g)
+		if !done {
+			g.eng.kick(g)
+		} else {
+			return req
+		}
 	}
 	// On a dead gate a receive can still be satisfied by data that
 	// arrived before the rails died (replayed from the unexpected
@@ -271,7 +335,7 @@ func (o Ops) Gate() *Gate { return o.g }
 
 // Isend submits a single-segment send; see Gate.Isend.
 func (o Ops) Isend(tag uint32, data []byte) *SendReq {
-	return o.g.isendv(tag, [][]byte{data})
+	return o.g.isend1(tag, data)
 }
 
 // Isendv submits a multi-segment send; see Gate.Isendv.
@@ -279,7 +343,7 @@ func (o Ops) Isendv(tag uint32, segs [][]byte) *SendReq { return o.g.isendv(tag,
 
 // Irecv posts a receive; see Gate.Irecv.
 func (o Ops) Irecv(tag uint32, buf []byte) *RecvReq {
-	return o.g.irecvv(tag, [][]byte{buf})
+	return o.g.irecv1(tag, buf)
 }
 
 // Irecvv posts a scatter receive; see Gate.Irecvv.
@@ -426,12 +490,18 @@ func (g *Gate) findPosted(tag uint32, msg uint64) *RecvReq {
 	return nil
 }
 
-// dropPosted removes a completed receive from the posted queue.
+// dropPosted removes a completed receive from the posted queue, zeroing
+// the vacated tail slot: append(q[:i], q[i+1:]...) alone leaves the old
+// last element aliased in the backing array, pinning the completed
+// request and its buffers against GC (and against pool reuse) until the
+// slot is overwritten.
 func (g *Gate) dropPosted(req *RecvReq) {
 	q := g.posted[req.tag]
 	for i, r := range q {
 		if r == req {
-			g.posted[req.tag] = append(q[:i], q[i+1:]...)
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			g.posted[req.tag] = q[:len(q)-1]
 			return
 		}
 	}

@@ -122,11 +122,19 @@ func DecodeHeader(buf []byte) (Header, error) {
 // Packet is one unit handed to a driver: a header plus payload bytes.
 // senders references the send requests whose data the packet carries, so
 // completion can be credited when the driver reports the send done.
+//
+// Packets on the hot path are pooled. frame, when set, is the arena
+// lease backing Payload (an aggregation staging buffer on the send side,
+// a driver read buffer on the receive side); Release returns both the
+// packet struct and the lease. Ownership is single-holder: the engine
+// releases outbound packets when their send completes or their rail
+// fails, and inbound packets after the arrival is consumed.
 type Packet struct {
 	Hdr     Header
 	Payload []byte
 
 	senders []senderRef
+	frame   *Buf
 }
 
 type senderRef struct {
@@ -139,13 +147,40 @@ type senderRef struct {
 // business.
 func (p *Packet) WireLen() int { return HeaderLen + len(p.Payload) }
 
+// EncodeTo frames the packet — header, then payload — into dst, which
+// must have room for WireLen bytes, and returns the bytes written. This
+// is the zero-intermediate-copy encode: drivers frame directly into an
+// arena lease (or a writev iovec) instead of through Marshal's fresh
+// allocation.
+func (p *Packet) EncodeTo(dst []byte) int {
+	p.Hdr.PayLen = uint32(len(p.Payload))
+	n := EncodeHeader(dst, &p.Hdr)
+	n += copy(dst[n:], p.Payload)
+	return n
+}
+
 // Marshal encodes the packet (header, then payload) into a fresh buffer.
 func (p *Packet) Marshal() []byte {
-	p.Hdr.PayLen = uint32(len(p.Payload))
 	buf := make([]byte, HeaderLen+len(p.Payload))
-	EncodeHeader(buf, &p.Hdr)
-	copy(buf[HeaderLen:], p.Payload)
+	p.EncodeTo(buf)
 	return buf
+}
+
+// Release returns a pooled packet (and its backing arena lease, if any)
+// for reuse. The caller must hold the only live reference; the packet
+// and its payload must not be touched afterwards.
+func (p *Packet) Release() {
+	if p.frame != nil {
+		p.frame.Release()
+		p.frame = nil
+	}
+	for i := range p.senders {
+		p.senders[i] = senderRef{}
+	}
+	p.senders = p.senders[:0]
+	p.Hdr = Header{}
+	p.Payload = nil
+	packetPool.Put(p)
 }
 
 // Unmarshal decodes a packet from a buffer produced by Marshal. The
@@ -159,6 +194,28 @@ func Unmarshal(buf []byte) (*Packet, error) {
 		return nil, fmt.Errorf("core: packet truncated: have %d want %d", len(buf)-HeaderLen, h.PayLen)
 	}
 	return &Packet{Hdr: h, Payload: buf[HeaderLen : HeaderLen+int(h.PayLen)]}, nil
+}
+
+// UnmarshalFrame decodes a packet from an arena lease holding one wire
+// frame. The payload aliases the lease, and the returned pooled packet
+// takes ownership of it: Packet.Release returns both. On error the lease
+// is released before returning.
+func UnmarshalFrame(f *Buf) (*Packet, error) {
+	h, err := DecodeHeader(f.B)
+	if err != nil {
+		f.Release()
+		return nil, err
+	}
+	if len(f.B) < HeaderLen+int(h.PayLen) {
+		n := len(f.B) - HeaderLen
+		f.Release()
+		return nil, fmt.Errorf("core: packet truncated: have %d want %d", n, h.PayLen)
+	}
+	p := getPacket()
+	p.Hdr = h
+	p.Payload = f.B[HeaderLen : HeaderLen+int(h.PayLen)]
+	p.frame = f
+	return p, nil
 }
 
 // String implements fmt.Stringer for debugging.

@@ -23,7 +23,9 @@ type injectorDrv struct {
 	mu   sync.Mutex
 	rail int
 	ev   core.Events
-	sent []*core.Packet
+	// sent snapshots headers, not packets: the engine recycles a packet
+	// once its send completes, so retaining the pointer is illegal.
+	sent []core.Header
 }
 
 func (d *injectorDrv) Name() string          { return "injector" }
@@ -39,7 +41,7 @@ func (d *injectorDrv) Bind(rail int, ev core.Events) {
 
 func (d *injectorDrv) Send(p *core.Packet) error {
 	d.mu.Lock()
-	d.sent = append(d.sent, p)
+	d.sent = append(d.sent, p.Hdr)
 	rail, ev := d.rail, d.ev
 	d.mu.Unlock()
 	ev.SendComplete(rail)
@@ -501,14 +503,14 @@ func TestRailFailureAbortsRendezvousAndToleratesLateCTS(t *testing.T) {
 	}
 	// The surviving rail must have carried the abort to the peer.
 	survivor.mu.Lock()
-	var abort *core.Packet
-	for _, p := range survivor.sent {
-		if p.Hdr.Kind == core.KAbort {
-			abort = p
+	var abort *core.Header
+	for i := range survivor.sent {
+		if survivor.sent[i].Kind == core.KAbort {
+			abort = &survivor.sent[i]
 		}
 	}
 	survivor.mu.Unlock()
-	if abort == nil || abort.Hdr.Tag != 1 {
+	if abort == nil || abort.Tag != 1 {
 		t.Fatalf("no abort sent on the surviving rail (sent: %v)", survivor.sent)
 	}
 	// A late CTS for the purged rendezvous is legitimate traffic: it

@@ -1,0 +1,9 @@
+//go:build race
+
+package core_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocs-per-op regression tests skip under it because race
+// instrumentation allocates on paths that are allocation-free in
+// normal builds.
+const raceEnabled = true

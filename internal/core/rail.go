@@ -85,12 +85,55 @@ func (r *Rail) String() string {
 // railEvents adapts driver callbacks to engine handlers for one rail,
 // routing each event into the owning gate's progress domain so events on
 // different gates never contend and drivers may deliver synchronously
-// from Send without deadlocking.
+// from Send without deadlocking. The hot events (SendComplete, Arrive,
+// DeliverBatch) go through Post2 with package-level handlers, so
+// delivering them allocates nothing; the cold failure events keep plain
+// closures.
 type railEvents struct{ r *Rail }
+
+var handleSendComplete = func(a, _ any) {
+	r := a.(*Rail)
+	r.gate.eng.sendComplete(r)
+}
+
+// handleArrive dispatches an inbound packet and then releases it: every
+// retention path inside arrive (unexpected buffering, receive landing,
+// rendezvous bookkeeping) copies what it keeps, so the wire packet and
+// its read-buffer lease go back to the pools here on every outcome.
+var handleArrive = func(a, b any) {
+	r := a.(*Rail)
+	p := b.(*Packet)
+	r.gate.eng.arrive(r, p)
+	p.Release()
+}
+
+// handleEventBatch dispatches a driver's batched events in order under a
+// single domain acquisition, then recycles the batch.
+var handleEventBatch = func(a, b any) {
+	r := a.(*Rail)
+	batch := b.(*EventBatch)
+	eng := r.gate.eng
+	for i := range batch.events {
+		ev := batch.events[i]
+		batch.events[i] = DriverEvent{}
+		switch ev.Kind {
+		case EvSendComplete:
+			eng.sendComplete(r)
+		case EvSendFailed:
+			eng.sendFailed(r, ev.Pkt, ev.Err)
+		case EvArrive:
+			eng.arrive(r, ev.Pkt)
+			ev.Pkt.Release()
+		case EvRailDown:
+			eng.railFailure(r, ev.Err)
+		}
+	}
+	putEventBatch(batch)
+}
 
 func (e railEvents) SendComplete(rail int) {
 	r := e.r
-	r.gate.dom.Post(func() { r.gate.eng.sendComplete(r) })
+	r.gate.dom.Post2(handleSendComplete, r, nil)
 }
 
 func (e railEvents) SendFailed(rail int, p *Packet, err error) {
@@ -100,10 +143,20 @@ func (e railEvents) SendFailed(rail int, p *Packet, err error) {
 
 func (e railEvents) Arrive(rail int, p *Packet) {
 	r := e.r
-	r.gate.dom.Post(func() { r.gate.eng.arrive(r, p) })
+	r.gate.dom.Post2(handleArrive, r, p)
 }
 
 func (e railEvents) RailDown(rail int, err error) {
 	r := e.r
 	r.gate.dom.Post(func() { r.gate.eng.railFailure(r, err) })
 }
+
+// DeliverBatch implements BatchEvents: the whole batch crosses into the
+// gate's progress domain as one deferred entry — one wakeup, one lock
+// acquisition — and its events dispatch in order.
+func (e railEvents) DeliverBatch(rail int, batch *EventBatch) {
+	r := e.r
+	r.gate.dom.Post2(handleEventBatch, r, batch)
+}
+
+var _ BatchEvents = railEvents{}

@@ -71,6 +71,15 @@ func (r *reqState) Completion() <-chan struct{} {
 	return r.doneCh
 }
 
+// reset clears the completion machinery for pool reuse; the request must
+// already be done.
+func (r *reqState) reset() {
+	r.done = false
+	r.err = nil
+	r.cbs = nil
+	r.doneCh = nil
+}
+
 func (r *reqState) complete(err error) {
 	r.mu.Lock()
 	if r.done {
@@ -145,6 +154,31 @@ func (s *SendReq) Cancel(err error) {
 	})
 }
 
+// Recycle returns a completed send request to the engine's pool. It is
+// optional — unrecycled requests are ordinary garbage — but steady-state
+// loops that Recycle their requests run the send path allocation-free.
+// The caller must hold the only live reference (no other goroutine still
+// waiting on or inspecting the request) and must not touch the request
+// afterwards. Recycling an incomplete request panics.
+func (s *SendReq) Recycle() {
+	s.mu.Lock()
+	done := s.done
+	s.mu.Unlock()
+	if !done {
+		panic("core: Recycle of incomplete send request")
+	}
+	s.reqState.reset()
+	s.gate = nil
+	s.tag = 0
+	s.msg = 0
+	s.totalBytes = 0
+	s.sentBytes = 0
+	s.pendingPkts = 0
+	s.queuedBytes = 0
+	s.failErr = nil
+	sendReqPool.Put(s)
+}
+
 // maybeComplete finishes the request once nothing remains queued or in
 // flight — with failErr if the request was doomed by a rail failure.
 // Caller owns the gate's progress domain.
@@ -170,8 +204,10 @@ type RecvReq struct {
 	msg  uint64
 
 	// bufs is the scatter list the message lands in, in message-offset
-	// order (one entry for plain Irecv).
+	// order (one entry for plain Irecv). Plain receives point it at buf1
+	// so posting allocates no scatter slice.
 	bufs     [][]byte
+	buf1     [1][]byte
 	capacity int
 	gotBytes int
 	// msgLen is the total expected, learned from the first matching
@@ -220,6 +256,28 @@ func (r *RecvReq) Cancel(err error) {
 		}
 		g.eng.failRecv(g, r, err)
 	})
+}
+
+// Recycle returns a completed receive request to the engine's pool. Same
+// contract as SendReq.Recycle: sole ownership, request already done, no
+// use afterwards.
+func (r *RecvReq) Recycle() {
+	r.mu.Lock()
+	done := r.done
+	r.mu.Unlock()
+	if !done {
+		panic("core: Recycle of incomplete receive request")
+	}
+	r.reqState.reset()
+	r.gate = nil
+	r.tag = 0
+	r.msg = 0
+	r.bufs = nil
+	r.buf1[0] = nil
+	r.capacity = 0
+	r.gotBytes = 0
+	r.msgLen = 0
+	recvReqPool.Put(r)
 }
 
 // writeAt scatters data at the given message offset across the

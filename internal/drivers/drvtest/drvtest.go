@@ -76,13 +76,15 @@ func (r *Recorder) SendFailed(rail int, p *core.Packet, err error) {
 	r.sendFails = append(r.sendFails, err)
 }
 
-// Arrive implements core.Events.
+// Arrive implements core.Events. Ownership of the packet (and the arena
+// lease backing its payload) transfers to the sink, exactly as it does
+// for the engine: snapshot what we keep, then release.
 func (r *Recorder) Arrive(rail int, p *core.Packet) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	// The payload may alias a transient wire buffer; snapshot it.
 	cp := &core.Packet{Hdr: p.Hdr, Payload: append([]byte(nil), p.Payload...)}
 	r.arrivals = append(r.arrivals, cp)
+	r.mu.Unlock()
+	p.Release()
 }
 
 // RailDown implements core.Events.
@@ -104,6 +106,27 @@ func (r *Recorder) arrival(i int) *core.Packet {
 	return r.arrivals[i]
 }
 
+// leakCheck registers the arena-lease invariant for one subtest: every
+// buffer the driver pair took from the pool during the subtest must be
+// back by the time the drivers are closed. Registered before setup so
+// the LIFO cleanup order runs it after Close has joined the drivers'
+// goroutines. Not used for subtests that sever links or cancel requests
+// mid-flight: those legitimately abandon in-flight leases to the GC.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := core.PoolStats()
+	t.Cleanup(func() {
+		if t.Failed() {
+			return
+		}
+		after := core.PoolStats()
+		if d := after.Live - before.Live; d != 0 {
+			t.Errorf("pool leak: %d arena leases still live after subtest (gets %d, puts %d)",
+				d, after.Gets-before.Gets, after.Puts-before.Puts)
+		}
+	})
+}
+
 // Run executes the conformance suite against the harness.
 func Run(t *testing.T, h Harness) {
 	t.Run("ProfileSanity", func(t *testing.T) {
@@ -123,6 +146,7 @@ func Run(t *testing.T, h Harness) {
 	})
 
 	t.Run("OrderedDelivery", func(t *testing.T) {
+		leakCheck(t)
 		p := setup(t, h)
 		ra, rb := bind(p)
 		const n = 16
@@ -157,6 +181,7 @@ func Run(t *testing.T, h Harness) {
 	})
 
 	t.Run("ZeroAndLargePayload", func(t *testing.T) {
+		leakCheck(t)
 		p := setup(t, h)
 		ra, rb := bind(p)
 		big := make([]byte, 256<<10)
@@ -176,6 +201,7 @@ func Run(t *testing.T, h Harness) {
 	})
 
 	t.Run("NeedsPollContract", func(t *testing.T) {
+		leakCheck(t)
 		p := setup(t, h)
 		_, rb := bind(p)
 		send(t, p, p.A, pkt(1, 0, []byte("needspoll")))
@@ -237,6 +263,7 @@ func Run(t *testing.T, h Harness) {
 	t.Run("CancelSemantics", func(t *testing.T) { runCancel(t, h) })
 
 	t.Run("CloseSemantics", func(t *testing.T) {
+		leakCheck(t)
 		p := setup(t, h)
 		bind(p)
 		if err := p.A.Close(); err != nil {

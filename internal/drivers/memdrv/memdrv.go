@@ -29,7 +29,10 @@ type Driver struct {
 	failAfter int // countdown: when it hits 1, that send fails
 	hold      bool
 	held      []heldSend // sends buffered while hold is set
-	prebind   [][]byte   // arrivals buffered until Bind provides Events
+	// heldSpare recycles the drained held queue's backing array so
+	// hold/release cycles don't reallocate it.
+	heldSpare []heldSend
+	prebind   []*core.Buf // arrivals buffered until Bind provides Events
 
 	rail int
 	ev   core.Events
@@ -38,11 +41,14 @@ type Driver struct {
 }
 
 // heldSend is one send whose events are buffered by HoldCompletions.
+// frame is the arena lease carrying the marshalled wire bytes; its
+// ownership passes to the peer on delivery, or back to the arena if the
+// send is dropped.
 type heldSend struct {
-	pkt  *core.Packet
-	err  error
-	buf  []byte
-	drop bool
+	pkt   *core.Packet
+	err   error
+	frame *core.Buf
+	drop  bool
 }
 
 // Pair returns two connected drivers with the given profile.
@@ -73,17 +79,19 @@ func (d *Driver) Bind(rail int, ev core.Events) {
 	prebind := d.prebind
 	d.prebind = nil
 	d.mu.Unlock()
-	for _, buf := range prebind {
-		d.deliver(buf)
+	for _, f := range prebind {
+		d.deliver(f)
 	}
 }
 
 // Send implements core.Driver: the packet is marshalled immediately (so
-// later buffer reuse is safe) and delivered synchronously — the arrival
-// to the peer's Events, then the completion (or injected failure) to
-// this end's. Arrival-first keeps the rail FIFO: anything the
-// completion triggers (the engine kicking the next packet) cannot reach
-// the peer before this packet did. No Poll is needed.
+// later buffer reuse is safe) into an arena lease and delivered
+// synchronously — the arrival to the peer's Events, then the completion
+// (or injected failure) to this end's. Arrival-first keeps the rail
+// FIFO: anything the completion triggers (the engine kicking the next
+// packet) cannot reach the peer before this packet did. No Poll is
+// needed. A dropped send's lease is released here: nobody will ever
+// consume it.
 func (d *Driver) Send(p *core.Packet) error {
 	d.mu.Lock()
 	if d.down {
@@ -107,16 +115,19 @@ func (d *Driver) Send(p *core.Packet) error {
 			drop = true
 		}
 	}
-	buf := p.Marshal()
+	f := core.GetBuf(p.WireLen())
+	p.EncodeTo(f.B)
 	if d.hold {
-		d.held = append(d.held, heldSend{pkt: p, err: failErr, buf: buf, drop: drop})
+		d.held = append(d.held, heldSend{pkt: p, err: failErr, frame: f, drop: drop})
 		d.mu.Unlock()
 		return nil
 	}
 	rail, ev := d.rail, d.ev
 	d.mu.Unlock()
-	if !drop {
-		d.peer.deliver(buf)
+	if drop {
+		f.Release()
+	} else {
+		d.peer.deliver(f)
 	}
 	if failErr != nil {
 		ev.SendFailed(rail, p, failErr)
@@ -152,12 +163,16 @@ func (d *Driver) ReleaseCompletions() {
 			return
 		}
 		held := d.held
-		d.held = nil
+		d.held = d.heldSpare[:0]
+		d.heldSpare = nil
 		rail, ev := d.rail, d.ev
 		d.mu.Unlock()
-		for _, h := range held {
-			if !h.drop {
-				d.peer.deliver(h.buf)
+		for i, h := range held {
+			held[i] = heldSend{}
+			if h.drop {
+				h.frame.Release()
+			} else {
+				d.peer.deliver(h.frame)
 			}
 			if h.err != nil {
 				ev.SendFailed(rail, h.pkt, h.err)
@@ -165,21 +180,28 @@ func (d *Driver) ReleaseCompletions() {
 				ev.SendComplete(rail)
 			}
 		}
+		d.mu.Lock()
+		if d.heldSpare == nil {
+			d.heldSpare = held[:0]
+		}
+		d.mu.Unlock()
 	}
 }
 
-// deliver hands a marshalled packet to this end's engine, buffering it
-// if no Events sink is bound yet.
-func (d *Driver) deliver(buf []byte) {
+// deliver hands a marshalled frame to this end's engine, buffering it if
+// no Events sink is bound yet. Lease ownership passes to the decoded
+// packet, which the consuming engine releases once the arrival has been
+// absorbed.
+func (d *Driver) deliver(f *core.Buf) {
 	d.mu.Lock()
 	if d.ev == nil {
-		d.prebind = append(d.prebind, buf)
+		d.prebind = append(d.prebind, f)
 		d.mu.Unlock()
 		return
 	}
 	rail, ev := d.rail, d.ev
 	d.mu.Unlock()
-	pkt, err := core.Unmarshal(buf)
+	pkt, err := core.UnmarshalFrame(f)
 	if err != nil {
 		panic("memdrv: corrupt packet: " + err.Error())
 	}

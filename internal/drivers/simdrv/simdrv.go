@@ -22,6 +22,9 @@ type Driver struct {
 	rail   int
 	ev     core.Events
 	closed bool
+	// onComplete is the per-driver completion callback, built once at
+	// Bind so each Send doesn't allocate a fresh closure.
+	onComplete func()
 }
 
 // New wraps nic as a Driver. Bind must be called (by Gate.AddRail) before
@@ -53,8 +56,9 @@ func (d *Driver) Profile() core.Profile {
 func (d *Driver) Bind(rail int, ev core.Events) {
 	d.rail = rail
 	d.ev = ev
+	d.onComplete = func() { d.ev.SendComplete(d.rail) }
 	d.nic.SetDeliver(func(meta any) {
-		pkt, err := core.Unmarshal(meta.([]byte))
+		pkt, err := core.UnmarshalFrame(meta.(*core.Buf))
 		if err != nil {
 			panic("simdrv: corrupt wire packet: " + err.Error())
 		}
@@ -62,14 +66,18 @@ func (d *Driver) Bind(rail int, ev core.Events) {
 	})
 }
 
-// Send implements core.Driver.
+// Send implements core.Driver: the packet is framed into an arena lease
+// that travels through the simulation as the message metadata; the
+// receiving engine releases it once the arrival is absorbed.
 func (d *Driver) Send(p *core.Packet) error {
 	if d.closed {
 		return fmt.Errorf("%w: %s", core.ErrRailDown, ErrClosed)
 	}
-	buf := p.Marshal()
-	err := d.nic.Send(len(buf), buf, func() { d.ev.SendComplete(d.rail) })
+	f := core.GetBuf(p.WireLen())
+	n := p.EncodeTo(f.B)
+	err := d.nic.Send(n, f, d.onComplete)
 	if err != nil {
+		f.Release()
 		return fmt.Errorf("%w: %s", core.ErrRailDown, err)
 	}
 	return nil

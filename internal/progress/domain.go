@@ -18,13 +18,34 @@ package progress
 
 import "sync"
 
+// postedEvent is one deferred inbox entry. Post fills fn; Post2 fills fn2
+// with its two operands, so hot-path callers can defer an event without
+// allocating a closure.
+type postedEvent struct {
+	fn   func()
+	fn2  func(a, b any)
+	a, b any
+}
+
+func (ev *postedEvent) run() {
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	ev.fn2(ev.a, ev.b)
+}
+
 // Domain is one progress unit's mutual-exclusion scope plus its inbox of
 // deferred events. Use NewDomain; the zero value is not usable.
 type Domain struct {
 	mu      sync.Mutex
 	free    sync.Cond
 	owned   bool
-	pending []func()
+	pending []postedEvent
+	// spare is the previously drained inbox backing array, recycled so a
+	// steady stream of deferred events reuses two buffers instead of
+	// growing a fresh slice per drain.
+	spare []postedEvent
 }
 
 // NewDomain returns a ready-to-use domain.
@@ -50,22 +71,32 @@ func (d *Domain) Lock() {
 // Unlock drains every event deferred while the domain was owned — still
 // holding ownership, so handlers run mutually excluded — and then
 // releases. Events posted during the drain are drained too; the domain is
-// only released once the inbox is empty.
+// only released once the inbox is empty. Drained events run one batch per
+// mutex acquisition, and the drained buffers are recycled.
 func (d *Domain) Unlock() {
+	var spent []postedEvent
 	for {
 		d.mu.Lock()
+		if spent != nil && d.spare == nil {
+			d.spare = spent
+			spent = nil
+		}
 		if len(d.pending) == 0 {
 			d.owned = false
 			d.free.Signal()
 			d.mu.Unlock()
 			return
 		}
-		fns := d.pending
-		d.pending = nil
+		evs := d.pending
+		d.pending = d.spare[:0]
+		d.spare = nil
 		d.mu.Unlock()
-		for _, fn := range fns {
-			fn()
+		for i := range evs {
+			ev := evs[i]
+			evs[i] = postedEvent{} // unpin handler captures promptly
+			ev.run()
 		}
+		spent = evs[:0]
 	}
 }
 
@@ -77,12 +108,30 @@ func (d *Domain) Unlock() {
 func (d *Domain) Post(fn func()) {
 	d.mu.Lock()
 	if d.owned {
-		d.pending = append(d.pending, fn)
+		d.pending = append(d.pending, postedEvent{fn: fn})
 		d.mu.Unlock()
 		return
 	}
 	d.owned = true
 	d.mu.Unlock()
 	fn()
+	d.Unlock()
+}
+
+// Post2 is Post for a static two-operand handler: fn(a, b) runs with
+// ownership of the domain, exactly like a closure given to Post, but the
+// deferred form stores the handler and its operands in the inbox entry
+// directly. Event hot paths use it with package-level handler functions so
+// delivering a completion or arrival allocates nothing.
+func (d *Domain) Post2(fn func(a, b any), a, b any) {
+	d.mu.Lock()
+	if d.owned {
+		d.pending = append(d.pending, postedEvent{fn2: fn, a: a, b: b})
+		d.mu.Unlock()
+		return
+	}
+	d.owned = true
+	d.mu.Unlock()
+	fn(a, b)
 	d.Unlock()
 }

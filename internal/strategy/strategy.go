@@ -43,10 +43,13 @@ func fastest(b *core.Backlog) *core.Rail {
 // segment that fits with it in one aggregated packet of at most
 // AggThreshold payload bytes (record headers included). Large segments
 // are skipped over, not disturbed — the paper allows reordering. Returns
-// nil if no small segment is pending.
+// an empty slice if no small segment is pending. The returned slice is
+// the backlog's reusable scratch: valid until the next Schedule call on
+// the same gate, which is fine because every caller hands it straight to
+// MakeEager.
 func gatherSmalls(b *core.Backlog) []*core.Unit {
 	budget := b.AggThreshold()
-	var units []*core.Unit
+	units := b.Scratch()
 	total := 0
 	i := 0
 	for i < b.SegCount() {
@@ -69,6 +72,7 @@ func gatherSmalls(b *core.Backlog) []*core.Unit {
 		units = append(units, b.TakeSeg(i))
 		total += need
 	}
+	b.StoreScratch(units)
 	return units
 }
 

@@ -119,12 +119,13 @@ func TestAggregSingleSmallNoCopy(t *testing.T) {
 	s := strategy.NewAggreg(0)
 	b, rails := fixture(t, s, myriProf())
 	u := seg(256, 0)
+	data := u.Data // MakeEager consumes (recycles) the unit itself
 	s.Submit(b, u)
 	p := s.Schedule(b, rails[0])
 	if p.Hdr.Agg != 0 {
 		t.Fatalf("lone segment was wrapped in an aggregate: %v", p)
 	}
-	if &p.Payload[0] != &u.Data[0] {
+	if &p.Payload[0] != &data[0] {
 		t.Fatal("lone segment copied")
 	}
 }
