@@ -10,6 +10,7 @@ import (
 	"newmad/internal/mpl"
 	"newmad/internal/sampling"
 	"newmad/internal/simnet"
+	"newmad/internal/simnet/topo"
 )
 
 // ClusterConfig describes an N-node simulated platform with a full mesh
@@ -38,6 +39,10 @@ type Cluster struct {
 	Engines []*core.Engine
 	// Gates[i][j] is node i's gate to node j (nil on the diagonal).
 	Gates [][]*core.Gate
+	// NICs[i][j] lists node i's NICs toward node j, one per rail class
+	// (nil on the diagonal) — retained so the chaos layer can target the
+	// links of a running cluster.
+	NICs [][][]*simnet.NIC
 	// Selector is the collective algorithm selector installed on every
 	// communicator. Algorithm selection must agree on every rank (the
 	// schedules of different algorithms do not interoperate), so the
@@ -73,6 +78,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		})
 		c.Engines = append(c.Engines, eng)
 		c.Gates = append(c.Gates, make([]*core.Gate, cfg.Nodes))
+		c.NICs = append(c.NICs, make([][]*simnet.NIC, cfg.Nodes))
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		for j := i + 1; j < cfg.Nodes; j++ {
@@ -92,17 +98,73 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 					ri.SetProfile(prof)
 					rj.SetProfile(prof)
 				}
+				c.NICs[i][j] = append(c.NICs[i][j], ni)
+				c.NICs[j][i] = append(c.NICs[j][i], nj)
 			}
 			c.Gates[i][j] = gi
 			c.Gates[j][i] = gj
 		}
 	}
+	c.seedSelector()
+	return c
+}
+
+// ClusterFromTopo wires engines, gates and rails over an already-built
+// topology: one engine per host, one gate per host pair, one rail per
+// link class. cfg.Nodes, cfg.NICs and cfg.Host are ignored — the
+// topology fixes them. The returned cluster shares the topology's world
+// and NIC mesh, so chaos schedules built against the topology perturb
+// the running cluster.
+func ClusterFromTopo(top *topo.Topology, cfg ClusterConfig) *Cluster {
+	if cfg.Strategy == nil {
+		panic("bench: ClusterConfig.Strategy is required")
+	}
+	n := top.Size()
+	c := &Cluster{W: top.W, Hosts: top.Hosts}
+	for i := 0; i < n; i++ {
+		eng := core.New(core.Config{
+			Strategy: cfg.Strategy(), Clock: top.Hosts[i],
+			AggThreshold: cfg.AggThreshold, MinChunk: cfg.MinChunk,
+		})
+		c.Engines = append(c.Engines, eng)
+		c.Gates = append(c.Gates, make([]*core.Gate, n))
+		c.NICs = append(c.NICs, make([][]*simnet.NIC, n))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			gi := c.Engines[i].NewGate(top.Hosts[j].Name)
+			gj := c.Engines[j].NewGate(top.Hosts[i].Name)
+			for k := 0; k < top.Classes(); k++ {
+				ni, nj := top.LinkNICs(i, j, k)
+				var prof core.Profile
+				if cfg.Sample {
+					prof = sampling.SampleNICPair(top.W, ni, nj, nil)
+				}
+				ri := gi.AddRail(simdrv.New(ni))
+				rj := gj.AddRail(simdrv.New(nj))
+				if cfg.Sample {
+					ri.SetProfile(prof)
+					rj.SetProfile(prof)
+				}
+			}
+			c.NICs[i][j] = top.NICs(i, j)
+			c.NICs[j][i] = top.NICs(j, i)
+			c.Gates[i][j] = gi
+			c.Gates[j][i] = gj
+		}
+	}
+	c.seedSelector()
+	return c
+}
+
+// seedSelector seeds the cluster-wide collective selector from the
+// rank-0 rail profiles (see the Selector field comment).
+func (c *Cluster) seedSelector() {
 	var profs []core.Profile
 	for _, r := range c.Gates[0][1].Rails() {
 		profs = append(profs, r.Profile())
 	}
 	c.Selector = mpl.SelectorFromProfiles(profs)
-	return c
 }
 
 // Size returns the rank count.

@@ -7,6 +7,7 @@ import (
 	"newmad/internal/des"
 	"newmad/internal/mpl"
 	"newmad/internal/simnet"
+	"newmad/internal/simnet/topo"
 	"newmad/internal/strategy"
 )
 
@@ -28,11 +29,16 @@ func mustColl(err error) {
 // collCluster builds the standard collective testbed: a full mesh of
 // Myri-10G + Quadrics pairs under the split strategy, with the algorithm
 // selector seeded from the declared rail profiles and the given forced
-// algorithm installed on every rank.
+// algorithm installed on every rank. The platform is declared through
+// the topology builder (one rack, non-blocking fabric) and wired by
+// ClusterFromTopo.
 func collCluster(ranks int) *Cluster {
-	return NewCluster(ClusterConfig{
-		Nodes:    ranks,
-		NICs:     []simnet.NICParams{simnet.Myri10G(), simnet.QsNetII()},
+	top := topo.New().
+		Rack(ranks).
+		Link(simnet.Myri10G()).
+		Link(simnet.QsNetII()).
+		Build(des.NewWorld())
+	return ClusterFromTopo(top, ClusterConfig{
 		Strategy: func() core.Strategy { return strategy.NewSplit(strategy.SplitRatio) },
 	})
 }

@@ -176,6 +176,7 @@ var builders = map[string]func(Quality) *Figure{
 	"fig6": Fig6, "fig7": Fig7,
 	"ext-pio": ExtPIO, "ext-rails": ExtRails, "ext-mixed": ExtMixed,
 	"ext-coll": ExtColl, "ext-allreduce": ExtAllreduce,
+	"ext-chaos-coll": ExtChaosColl, "ext-chaos-split": ExtChaosSplit,
 }
 
 // FigureIDs lists every reproducible figure in order.

@@ -461,11 +461,25 @@ func (e *Engine) sendFailed(r *Rail, p *Packet, err error) {
 	e.failRail(r, p, err)
 }
 
+// normalizeRailErr makes every rail-failure error satisfy
+// errors.Is(err, ErrRailDown), whatever the driver reported: requests
+// failed by a dead rail carry a uniform, driver-agnostic sentinel.
+func normalizeRailErr(err error) error {
+	if err == nil {
+		return ErrRailDown
+	}
+	if errors.Is(err, ErrRailDown) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrRailDown, err)
+}
+
 // failRail marks the rail down after a send that certainly did not reach
 // the peer and requeues the failed packet's work onto the surviving
 // rails. Rendezvous chunks are returned to their body; eager payloads are
 // resubmitted as segments. Caller owns the gate's domain.
 func (e *Engine) failRail(r *Rail, p *Packet, err error) {
+	err = normalizeRailErr(err)
 	if r.current != p {
 		// The rail already failed through another path (e.g. corrupt
 		// inbound traffic) and its in-flight packet was handled there.
@@ -511,6 +525,7 @@ func (e *Engine) failRail(r *Rail, p *Packet, err error) {
 // the peer; the in-flight requests fail instead. Caller owns the gate's
 // domain.
 func (e *Engine) railFailure(r *Rail, err error) {
+	err = normalizeRailErr(err)
 	g := r.gate
 	if r.down.Load() && r.current == nil {
 		// The failure itself was already handled, but the gate-death

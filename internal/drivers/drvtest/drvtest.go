@@ -18,6 +18,10 @@
 //     contract — cancel before post frees queued work and aborts the
 //     peer, cancel mid-flight reaches bounded-time terminal states on
 //     both ends, cancel after completion is a no-op (see cancel.go);
+//   - fault semantics: a rail failure injected while engines are driving
+//     traffic (Pair.Flap) fails every affected request loudly — errors
+//     wrapping core.ErrRailDown or core.ErrMsgAborted — and never leaves
+//     a request parked forever (see fault.go);
 //   - close semantics: Close is idempotent and Send after Close returns
 //     an error rather than panicking or completing.
 package drvtest
@@ -44,6 +48,12 @@ type Pair struct {
 	// failure (Events.RailDown or Events.SendFailed). Nil when the
 	// transport has no such failure mode.
 	Break func()
+	// Flap injects a mid-traffic rail failure that BOTH sides eventually
+	// observe while engines are actively driving requests over the pair:
+	// each side either gets an asynchronous report (RailDown) or sees its
+	// next posted send fail. Used by the fault-injection section; nil
+	// falls back to Break, and the section skips when both are nil.
+	Flap func()
 }
 
 // Harness adapts one driver package to the suite.
@@ -261,6 +271,8 @@ func Run(t *testing.T, h Harness) {
 	})
 
 	t.Run("CancelSemantics", func(t *testing.T) { runCancel(t, h) })
+
+	t.Run("FaultInjection", func(t *testing.T) { runFault(t, h) })
 
 	t.Run("CloseSemantics", func(t *testing.T) {
 		leakCheck(t)

@@ -23,6 +23,13 @@ func TestDriverConformance(t *testing.T) {
 					a.FailNextSend()
 					_ = a.Send(&core.Packet{Hdr: core.Header{Kind: core.KData, MsgSegs: 1}})
 				},
+				// A mid-traffic flap is one-sided per driver: each side
+				// observes the fault when it next posts a send (the fault
+				// section's probes guarantee both eventually do).
+				Flap: func() {
+					a.FailNextSend()
+					b.FailNextSend()
+				},
 			}
 		},
 	})

@@ -10,9 +10,10 @@ import (
 
 // TestDriverConformance runs the shared transmit-layer contract suite
 // against the simulated-NIC driver. The pump runs the discrete-event
-// world, which is what moves packets for this event-driven driver; the
-// simulated link has no asynchronous failure mode (a downed NIC drops
-// silently), so the RailDown case is skipped.
+// world, which is what moves packets for this event-driven driver.
+// Breaking the link takes both NICs down (a chaos link flap), which the
+// driver must report as RailDown exactly once instead of letting the
+// simulation drop packets silently.
 func TestDriverConformance(t *testing.T) {
 	drvtest.Run(t, drvtest.Harness{
 		New: func(t *testing.T) drvtest.Pair {
@@ -22,7 +23,15 @@ func TestDriverConformance(t *testing.T) {
 			na := ha.NewNIC(simnet.Myri10G())
 			nb := hb.NewNIC(simnet.Myri10G())
 			simnet.Connect(na, nb)
-			return drvtest.Pair{A: New(na), B: New(nb), Pump: w.Run}
+			linkDown := func() {
+				na.SetDown(true)
+				nb.SetDown(true)
+			}
+			return drvtest.Pair{
+				A: New(na), B: New(nb), Pump: w.Run,
+				Break: linkDown,
+				Flap:  linkDown,
+			}
 		},
 	})
 }

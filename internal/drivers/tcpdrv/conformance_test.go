@@ -37,7 +37,10 @@ func TestDriverConformance(t *testing.T) {
 				t.Fatal(acc.err)
 			}
 			b := acc.d
-			return drvtest.Pair{A: a, B: b, Break: func() { _ = b.Close() }}
+			// Closing B severs the socket for both sides: A's reader
+			// hits EOF (RailDown from Poll), B's next send is refused.
+			sever := func() { _ = b.Close() }
+			return drvtest.Pair{A: a, B: b, Break: sever, Flap: sever}
 		},
 	})
 }

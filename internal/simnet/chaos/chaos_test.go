@@ -1,0 +1,189 @@
+package chaos_test
+
+import (
+	"testing"
+	"time"
+
+	"newmad/internal/des"
+	"newmad/internal/simnet"
+	"newmad/internal/simnet/chaos"
+	"newmad/internal/simnet/topo"
+)
+
+func pair(t *testing.T, w *des.World) (*simnet.NIC, *simnet.NIC) {
+	t.Helper()
+	ha := simnet.NewHost(w, "A", simnet.Opteron())
+	hb := simnet.NewHost(w, "B", simnet.Opteron())
+	na := ha.NewNIC(simnet.Myri10G())
+	nb := hb.NewNIC(simnet.Myri10G())
+	simnet.Connect(na, nb)
+	return na, nb
+}
+
+// at probes NIC state at an absolute virtual time.
+func at(w *des.World, d time.Duration, probe func()) {
+	w.At(des.FromDuration(d), probe)
+}
+
+func TestFlapLinkDownsBothEndsAndRecovers(t *testing.T) {
+	w := des.NewWorld()
+	na, nb := pair(t, w)
+	chaos.NewSchedule("flap").
+		FlapLink(10*time.Millisecond, 5*time.Millisecond, na, nb).
+		Arm(w)
+	at(w, 9*time.Millisecond, func() {
+		if na.Down() || nb.Down() {
+			t.Error("link down before the fault fires")
+		}
+	})
+	at(w, 11*time.Millisecond, func() {
+		if !na.Down() || !nb.Down() {
+			t.Error("flap did not take BOTH ends down")
+		}
+	})
+	at(w, 16*time.Millisecond, func() {
+		if na.Down() || nb.Down() {
+			t.Error("flap did not recover after its duration")
+		}
+	})
+	w.Run()
+}
+
+func TestDegradeLinkRestoresPreviousRate(t *testing.T) {
+	w := des.NewWorld()
+	na, nb := pair(t, w)
+	full := simnet.Myri10G().Bandwidth
+	chaos.NewSchedule("degrade").
+		DegradeLink(time.Millisecond, time.Millisecond, 0.1, na, nb).
+		Arm(w)
+	at(w, 1500*time.Microsecond, func() {
+		if bw := na.Bandwidth(); bw != full*0.1 {
+			t.Errorf("degraded rate %v, want %v", bw, full*0.1)
+		}
+	})
+	at(w, 3*time.Millisecond, func() {
+		if na.Bandwidth() != full || nb.Bandwidth() != full {
+			t.Errorf("rates not restored: %v %v", na.Bandwidth(), nb.Bandwidth())
+		}
+	})
+	w.Run()
+}
+
+func TestDropAndJitterRevertToPrevious(t *testing.T) {
+	w := des.NewWorld()
+	na, nb := pair(t, w)
+	na.SetDropProb(0.01) // pre-existing loss the burst must restore
+	chaos.NewSchedule("loss-burst").
+		DropOnLink(time.Millisecond, time.Millisecond, 0.5, na, nb).
+		JitterLink(time.Millisecond, time.Millisecond, 0.3, na, nb).
+		Arm(w)
+	at(w, 1500*time.Microsecond, func() {
+		if na.DropProb() != 0.5 || nb.DropProb() != 0.5 {
+			t.Errorf("burst loss not applied: %v %v", na.DropProb(), nb.DropProb())
+		}
+		if na.Jitter() != 0.3 {
+			t.Errorf("burst jitter not applied: %v", na.Jitter())
+		}
+	})
+	at(w, 3*time.Millisecond, func() {
+		if na.DropProb() != 0.01 || nb.DropProb() != 0 {
+			t.Errorf("loss not reverted to previous: %v %v", na.DropProb(), nb.DropProb())
+		}
+		if na.Jitter() != 0 {
+			t.Errorf("jitter not reverted: %v", na.Jitter())
+		}
+	})
+	w.Run()
+}
+
+func TestPartitionSeversRacksBothWays(t *testing.T) {
+	w := des.NewWorld()
+	top := topo.New().
+		Rack(2).
+		Rack(2).
+		Link(simnet.Myri10G()).
+		Build(w)
+	chaos.NewSchedule("partition").
+		Partition(time.Millisecond, time.Millisecond, top.CutNICs(0, 1)...).
+		Arm(w)
+	at(w, 1500*time.Microsecond, func() {
+		for _, i := range top.Rack(0) {
+			for _, j := range top.Rack(1) {
+				if !top.NICs(i, j)[0].Down() || !top.NICs(j, i)[0].Down() {
+					t.Errorf("cross link %d-%d survived the partition", i, j)
+				}
+			}
+		}
+		// Intra-rack links keep flowing.
+		if top.NICs(0, 1)[0].Down() || top.NICs(2, 3)[0].Down() {
+			t.Error("partition downed an intra-rack link")
+		}
+	})
+	at(w, 3*time.Millisecond, func() {
+		for _, i := range top.Rack(0) {
+			for _, j := range top.Rack(1) {
+				if top.NICs(i, j)[0].Down() {
+					t.Errorf("cross link %d-%d not restored", i, j)
+				}
+			}
+		}
+	})
+	w.Run()
+}
+
+func TestStopCancelsPendingFaultsAndReverts(t *testing.T) {
+	w := des.NewWorld()
+	na, nb := pair(t, w)
+	armed := chaos.NewSchedule("cancelled").
+		FlapLink(time.Millisecond, time.Millisecond, na, nb).
+		FlapLink(10*time.Millisecond, time.Millisecond, na, nb).
+		Arm(w)
+	// Stop after the first fault fired but before its revert and before
+	// the second fault: the platform freezes mid-fault.
+	at(w, 1500*time.Microsecond, func() { armed.Stop() })
+	w.Run()
+	if !na.Down() || !nb.Down() {
+		t.Fatal("Stop reverted an already-fired fault")
+	}
+	// The second flap never fired: exactly one down transition happened.
+	fired := 0
+	na.SetOnDown(func() { fired++ })
+	if fired != 0 {
+		t.Fatal("hook miscount")
+	}
+}
+
+func TestStopBeforeAnyFaultIsCleanCancel(t *testing.T) {
+	w := des.NewWorld()
+	na, nb := pair(t, w)
+	armed := chaos.NewSchedule("never").
+		FlapLink(time.Millisecond, time.Millisecond, na, nb).
+		Arm(w)
+	armed.Stop()
+	w.Run()
+	if na.Down() || nb.Down() {
+		t.Fatal("cancelled schedule still fired")
+	}
+	if w.Now() != 0 {
+		t.Fatalf("cancelled timers stretched virtual time to %v", w.Now().Duration())
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	for name, build := range map[string]func(){
+		"negative at": func() {
+			chaos.NewSchedule("x").Add(chaos.Fault{At: -time.Second, Apply: func() {}})
+		},
+		"no apply":  func() { chaos.NewSchedule("x").Add(chaos.Fault{}) },
+		"empty cut": func() { chaos.NewSchedule("x").Partition(0, time.Second) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: accepted", name)
+				}
+			}()
+			build()
+		}()
+	}
+}

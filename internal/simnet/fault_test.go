@@ -1,0 +1,211 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"newmad/internal/des"
+)
+
+// Regression for the chaos-reachable divide-by-zero: transferNS with a
+// zero/negative rate used to yield +Inf → int64 overflow → a DES event
+// scheduled in the past. NewNIC now rejects the parameters outright.
+func TestNewNICRejectsNonPositiveBandwidth(t *testing.T) {
+	w := des.NewWorld()
+	h := NewHost(w, "A", Opteron())
+	for _, bw := range []float64{0, -1200e6} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("NewNIC accepted Bandwidth %v", bw)
+				}
+				if !strings.Contains(r.(string), "Bandwidth") {
+					t.Fatalf("panic %q does not name the bad field", r)
+				}
+			}()
+			p := Myri10G()
+			p.Bandwidth = bw
+			h.NewNIC(p)
+		}()
+	}
+}
+
+func TestNewNICRejectsBadParams(t *testing.T) {
+	w := des.NewWorld()
+	h := NewHost(w, "A", Opteron())
+	cases := []func(*NICParams){
+		func(p *NICParams) { p.WireLatency = -time.Nanosecond },
+		func(p *NICParams) { p.SendOverhead = -time.Nanosecond },
+		func(p *NICParams) { p.PIOMax = -1 },
+		func(p *NICParams) { p.Jitter = 1.5 },
+		func(p *NICParams) { p.Jitter = -0.1 },
+	}
+	for i, mutate := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: invalid params accepted", i)
+				}
+			}()
+			p := Myri10G()
+			mutate(&p)
+			h.NewNIC(p)
+		}()
+	}
+}
+
+// A degraded rate is clamped to MinBandwidth, never zero or negative, so
+// every transfer stays finite in virtual time.
+func TestSetBandwidthClampsToFloor(t *testing.T) {
+	w := des.NewWorld()
+	h := NewHost(w, "A", Opteron())
+	n := h.NewNIC(Myri10G())
+	if got := n.SetBandwidth(0); got != MinBandwidth {
+		t.Fatalf("SetBandwidth(0) applied %v, want floor %v", got, MinBandwidth)
+	}
+	if got := n.SetBandwidth(-5e6); got != MinBandwidth {
+		t.Fatalf("SetBandwidth(-5e6) applied %v, want floor %v", got, MinBandwidth)
+	}
+	// Restoring above the hardware rate clamps to the parameter.
+	if got := n.SetBandwidth(9e12); got != Myri10G().Bandwidth {
+		t.Fatalf("SetBandwidth above hardware rate applied %v", got)
+	}
+}
+
+// A transfer on a fully degraded NIC must still complete, at floor rate,
+// with its events in the future (the old +Inf path scheduled in the past
+// and panicked the kernel).
+func TestDegradedTransferStaysFinite(t *testing.T) {
+	w := des.NewWorld()
+	ha := NewHost(w, "A", Opteron())
+	hb := NewHost(w, "B", Opteron())
+	na := ha.NewNIC(Myri10G())
+	nb := hb.NewNIC(Myri10G())
+	Connect(na, nb)
+	na.SetBandwidth(0) // clamps to MinBandwidth
+	delivered := false
+	nb.SetDeliver(func(meta any) { delivered = true })
+	sent := false
+	if err := na.Send(1000, nil, func() { sent = true }); err != nil {
+		t.Fatalf("Send on degraded NIC: %v", err)
+	}
+	w.Run()
+	if !sent || !delivered {
+		t.Fatalf("degraded transfer sent=%v delivered=%v", sent, delivered)
+	}
+	// ~1000+32 bytes at 1e3 B/s ≈ 1.03 virtual seconds.
+	if w.Now() < des.Time(500*time.Millisecond) {
+		t.Fatalf("degraded transfer finished implausibly fast: %v", w.Now().Duration())
+	}
+}
+
+// Packets arriving at a downed NIC go through the drop hook (so a bound
+// driver can release the wire lease and surface the loss), not into the
+// void.
+func TestDownedNICReportsDrops(t *testing.T) {
+	w := des.NewWorld()
+	ha := NewHost(w, "A", Opteron())
+	hb := NewHost(w, "B", Opteron())
+	na := ha.NewNIC(Myri10G())
+	nb := hb.NewNIC(Myri10G())
+	Connect(na, nb)
+	nb.SetDeliver(func(meta any) { t.Fatal("delivered to a downed NIC") })
+	var dropped []any
+	nb.SetOnDrop(func(meta any) { dropped = append(dropped, meta) })
+	if err := na.Send(64, "pkt", func() {}); err != nil {
+		t.Fatal(err)
+	}
+	nb.SetDown(true) // in flight: down before arrival
+	w.Run()
+	if len(dropped) != 1 || dropped[0] != "pkt" {
+		t.Fatalf("drop hook saw %v, want the in-flight packet", dropped)
+	}
+	if nb.Drops() != 1 {
+		t.Fatalf("Drops() = %d, want 1", nb.Drops())
+	}
+}
+
+// The down hook fires exactly once per up→down transition.
+func TestOnDownFiresOncePerTransition(t *testing.T) {
+	w := des.NewWorld()
+	h := NewHost(w, "A", Opteron())
+	n := h.NewNIC(Myri10G())
+	fired := 0
+	n.SetOnDown(func() { fired++ })
+	n.SetDown(true)
+	n.SetDown(true) // already down: no re-fire
+	if fired != 1 {
+		t.Fatalf("down hook fired %d times after repeated SetDown(true)", fired)
+	}
+	n.SetDown(false)
+	n.SetDown(true)
+	if fired != 2 {
+		t.Fatalf("down hook fired %d times after flap, want 2", fired)
+	}
+}
+
+// Chaos-injected loss discards deterministically-chosen packets through
+// the drop hook and delivers the rest.
+func TestDropProbabilityIsDeterministicAndPartial(t *testing.T) {
+	run := func() (delivered, dropped int) {
+		w := des.NewWorld()
+		ha := NewHost(w, "A", Opteron())
+		hb := NewHost(w, "B", Opteron())
+		na := ha.NewNIC(Myri10G())
+		nb := hb.NewNIC(Myri10G())
+		Connect(na, nb)
+		nb.SetDeliver(func(meta any) { delivered++ })
+		nb.SetOnDrop(func(meta any) { dropped++ })
+		nb.SetDropProb(0.3)
+		for i := 0; i < 100; i++ {
+			if err := na.Send(64, i, func() {}); err != nil {
+				panic(err)
+			}
+			w.Run()
+		}
+		return
+	}
+	d1, x1 := run()
+	d2, x2 := run()
+	if d1 != d2 || x1 != x2 {
+		t.Fatalf("loss not deterministic: (%d,%d) vs (%d,%d)", d1, x1, d2, x2)
+	}
+	if x1 == 0 || d1 == 0 {
+		t.Fatalf("p=0.3 loss dropped %d and delivered %d of 100; want both nonzero", x1, d1)
+	}
+	if d1+x1 != 100 {
+		t.Fatalf("accounting: %d delivered + %d dropped != 100", d1, x1)
+	}
+}
+
+// Mid-run jitter injection perturbs per-packet costs reproducibly.
+func TestSetJitterMidRun(t *testing.T) {
+	run := func(j float64) des.Time {
+		w := des.NewWorld()
+		ha := NewHost(w, "A", Opteron())
+		hb := NewHost(w, "B", Opteron())
+		na := ha.NewNIC(Myri10G())
+		nb := hb.NewNIC(Myri10G())
+		Connect(na, nb)
+		nb.SetDeliver(func(meta any) {})
+		na.SetJitter(j)
+		for i := 0; i < 20; i++ {
+			if err := na.Send(256, nil, func() {}); err != nil {
+				t.Fatal(err)
+			}
+			w.Run()
+		}
+		return w.Now()
+	}
+	base := run(0)
+	noisy1 := run(0.4)
+	noisy2 := run(0.4)
+	if noisy1 == base {
+		t.Fatal("jitter 0.4 left the schedule identical to noise-free")
+	}
+	if noisy1 != noisy2 {
+		t.Fatalf("jittered runs disagree: %v vs %v", noisy1, noisy2)
+	}
+}

@@ -33,9 +33,15 @@ func NewHost(w *des.World, name string, p HostParams) *Host {
 	}
 }
 
-// NewNIC installs a NIC with the given parameters on the host.
+// NewNIC installs a NIC with the given parameters on the host. Invalid
+// parameters (zero/negative bandwidth, negative costs — see
+// NICParams.Validate) panic: they are modelling bugs that would otherwise
+// surface far away as DES events scheduled in the past.
 func (h *Host) NewNIC(p NICParams) *NIC {
-	n := &NIC{host: h, params: p, index: len(h.nics)}
+	if err := p.Validate(); err != nil {
+		panic(err.Error())
+	}
+	n := &NIC{host: h, params: p, index: len(h.nics), bw: p.Bandwidth, jitter: p.Jitter}
 	if p.Jitter > 0 {
 		n.rng = rand.New(rand.NewSource(nicSeed(h.Name, p.Name, n.index)))
 	}

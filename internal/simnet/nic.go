@@ -10,9 +10,21 @@ import (
 	"newmad/internal/des"
 )
 
+// MinBandwidth is the floor applied to degraded NIC rates (bytes per
+// second). Chaos bandwidth degradation clamps here instead of letting a
+// rate reach zero: bytes/rate with rate → 0 yields +Inf, which overflows
+// int64 and schedules DES events in the past. A floored rate keeps every
+// transfer finite in virtual time, merely (very) slow.
+const MinBandwidth = 1e3
+
 // transferNS converts bytes at rate (bytes/sec) to nanoseconds, rounded
-// to nearest.
+// to nearest. A non-positive rate is a modelling bug (NewNIC validates
+// parameters and SetBandwidth clamps to MinBandwidth) and panics rather
+// than silently overflowing into a negative timestamp.
 func transferNS(bytes int, rate float64) int64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("simnet: transfer rate %v (bytes/sec) must be positive", rate))
+	}
 	return int64(math.Round(float64(bytes) / rate * 1e9))
 }
 
@@ -35,6 +47,12 @@ var ErrNotConnected = errors.New("simnet: nic not connected")
 // cannot overlap on a single-lane CPU. Larger sends are DMA: the CPU pays
 // only SendOverhead+DMASetup and the body moves as a fluid flow limited by
 // the NIC bandwidth and its proportional share of the host I/O bus.
+//
+// Beyond the static parameters, a NIC carries dynamic fault state driven
+// by the chaos layer: it can be taken down and brought back (SetDown),
+// its bandwidth degraded (SetBandwidth, floored at MinBandwidth), and
+// per-packet drop probability and jitter injected mid-run (SetDropProb,
+// SetJitter). Drivers observe faults through the OnDown and OnDrop hooks.
 type NIC struct {
 	host    *Host
 	params  NICParams
@@ -42,19 +60,28 @@ type NIC struct {
 	peer    *NIC
 	down    bool
 	deliver func(meta any)
-	rng     *rand.Rand // non-nil when Jitter > 0
+	rng     *rand.Rand // non-nil when jitter > 0
+
+	// dynamic fault state (chaos-controlled)
+	bw       float64 // current effective bandwidth, >= MinBandwidth
+	jitter   float64 // current jitter factor
+	dropP    float64 // probability an arriving packet is lost
+	faultRng *rand.Rand
+	onDown   func()         // fires on each up→down transition
+	onDrop   func(meta any) // fires when an arriving packet is dropped
 
 	// stats
 	pioSends, dmaSends uint64
+	drops              uint64
 }
 
 // noisy scales a cost by the NIC's jitter factor (identity when jitter
 // is disabled).
 func (n *NIC) noisy(ns int64) int64 {
-	if n.rng == nil {
+	if n.rng == nil || n.jitter <= 0 {
 		return ns
 	}
-	f := 1 + n.params.Jitter*(2*n.rng.Float64()-1)
+	f := 1 + n.jitter*(2*n.rng.Float64()-1)
 	return int64(math.Round(float64(ns) * f))
 }
 
@@ -71,8 +98,72 @@ func (n *NIC) Peer() *NIC { return n.peer }
 func (n *NIC) Down() bool { return n.down }
 
 // SetDown enables or disables the NIC. Packets in flight toward a downed
-// NIC are dropped at arrival.
-func (n *NIC) SetDown(down bool) { n.down = down }
+// NIC are dropped at arrival (and reported through the OnDrop hook). An
+// up→down transition fires the OnDown hook, so a bound driver surfaces
+// the failure to its engine instead of letting receivers park forever.
+func (n *NIC) SetDown(down bool) {
+	was := n.down
+	n.down = down
+	if down && !was && n.onDown != nil {
+		n.onDown()
+	}
+}
+
+// SetOnDown installs the down-transition hook, invoked once per up→down
+// transition (typically by the bound driver to report RailDown).
+func (n *NIC) SetOnDown(fn func()) { n.onDown = fn }
+
+// SetOnDrop installs the drop hook, invoked with the packet metadata
+// whenever an arriving packet is discarded — because this NIC is down or
+// chaos-injected loss fired. The hook owns the metadata (the bound
+// driver releases the wire buffer's arena lease there).
+func (n *NIC) SetOnDrop(fn func(meta any)) { n.onDrop = fn }
+
+// Bandwidth reports the NIC's current effective bandwidth in bytes per
+// second (the static parameter until degraded by SetBandwidth).
+func (n *NIC) Bandwidth() float64 { return n.bw }
+
+// SetBandwidth degrades (or restores) the NIC's effective bandwidth,
+// clamped to [MinBandwidth, params.Bandwidth]; it returns the applied
+// rate. Zero or negative requests clamp to the floor instead of poisoning
+// the DES with infinite transfer times.
+func (n *NIC) SetBandwidth(bw float64) float64 {
+	if bw < MinBandwidth {
+		bw = MinBandwidth
+	}
+	if bw > n.params.Bandwidth {
+		bw = n.params.Bandwidth
+	}
+	n.bw = bw
+	return bw
+}
+
+// DropProb reports the current per-packet arrival loss probability.
+func (n *NIC) DropProb() float64 { return n.dropP }
+
+// Jitter reports the current per-packet host-cost noise factor.
+func (n *NIC) Jitter() float64 { return n.jitter }
+
+// SetDropProb injects per-packet loss: each packet arriving at this NIC
+// is discarded with probability p (clamped to [0, 1]), reported through
+// the OnDrop hook. Loss is drawn from a deterministic per-NIC stream, so
+// runs remain reproducible.
+func (n *NIC) SetDropProb(p float64) {
+	n.dropP = math.Min(math.Max(p, 0), 1)
+	if n.dropP > 0 && n.faultRng == nil {
+		n.faultRng = rand.New(rand.NewSource(nicSeed(n.host.Name, n.params.Name, n.index) ^ 0x5eed))
+	}
+}
+
+// SetJitter injects per-packet host-cost noise mid-run: each cost is
+// scaled by a factor drawn uniformly from [1-j, 1+j]. j is clamped to
+// [0, 0.99]; 0 disables noise.
+func (n *NIC) SetJitter(j float64) {
+	n.jitter = math.Min(math.Max(j, 0), 0.99)
+	if n.jitter > 0 && n.rng == nil {
+		n.rng = rand.New(rand.NewSource(nicSeed(n.host.Name, n.params.Name, n.index)))
+	}
+}
 
 // SetDeliver installs the ingress callback, invoked at the receiving host
 // after poll-loop and per-packet costs have been charged.
@@ -80,6 +171,10 @@ func (n *NIC) SetDeliver(fn func(meta any)) { n.deliver = fn }
 
 // Stats reports how many PIO and DMA sends the NIC performed.
 func (n *NIC) Stats() (pio, dma uint64) { return n.pioSends, n.dmaSends }
+
+// Drops reports how many arriving packets this NIC discarded (down or
+// chaos-injected loss).
+func (n *NIC) Drops() uint64 { return n.drops }
 
 // Connect wires two NICs back to back. The wire latency used in each
 // direction is the sending NIC's.
@@ -104,7 +199,7 @@ func (n *NIC) Send(size int, meta any, onSent func()) error {
 	cpu := n.host.CPU
 	if wire <= n.params.PIOMax {
 		n.pioSends++
-		done := cpu.Charge(n.noisy(n.params.SendOverhead.Nanoseconds() + transferNS(wire, n.params.Bandwidth)))
+		done := cpu.Charge(n.noisy(n.params.SendOverhead.Nanoseconds() + transferNS(wire, n.bw)))
 		w.At(des.Time(done), onSent)
 		n.arriveAt(des.Time(done)+des.FromDuration(n.params.WireLatency), meta)
 		return nil
@@ -112,7 +207,7 @@ func (n *NIC) Send(size int, meta any, onSent func()) error {
 	n.dmaSends++
 	start := cpu.Charge(n.noisy(n.params.SendOverhead.Nanoseconds() + n.params.DMASetup.Nanoseconds()))
 	lat := des.FromDuration(n.params.WireLatency)
-	bw := n.params.Bandwidth
+	bw := n.bw
 	w.At(des.Time(start), func() {
 		n.host.Bus.Start(int64(wire), bw, func(at des.Time) {
 			w.At(at, onSent)
@@ -122,15 +217,32 @@ func (n *NIC) Send(size int, meta any, onSent func()) error {
 	return nil
 }
 
-// arriveAt schedules peer ingress at time t.
+// arriveAt schedules peer ingress at time t. A packet reaching a downed
+// NIC — or losing the chaos drop lottery — is discarded through the
+// peer's drop path instead of vanishing silently, so the bound driver
+// can release the wire buffer and surface the loss.
 func (n *NIC) arriveAt(t des.Time, meta any) {
 	peer := n.peer
 	n.host.W.At(t, func() {
 		if peer.down {
+			peer.drop(meta)
+			return
+		}
+		if peer.dropP > 0 && peer.faultRng.Float64() < peer.dropP {
+			peer.drop(meta)
 			return
 		}
 		peer.ingress(meta)
 	})
+}
+
+// drop discards an arriving packet, handing its metadata to the OnDrop
+// hook (which owns any attached buffer lease).
+func (n *NIC) drop(meta any) {
+	n.drops++
+	if n.onDrop != nil {
+		n.onDrop(meta)
+	}
 }
 
 // ingress charges the receiving host one progress-loop iteration (polling

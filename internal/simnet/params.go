@@ -5,7 +5,10 @@
 // QM500/Elan hardware the paper measured (see DESIGN.md §2).
 package simnet
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // NICParams describes one network interface model.
 type NICParams struct {
@@ -45,6 +48,25 @@ type NICParams struct {
 	// so runs remain reproducible. 0 disables noise (the default; the
 	// calibrated figures are generated noise-free).
 	Jitter float64
+}
+
+// Validate reports the first modelling error in the parameter set. A
+// zero or negative Bandwidth is the classic one: bytes/rate with rate 0
+// is +Inf, which overflows int64 and schedules DES events in the past.
+func (p NICParams) Validate() error {
+	switch {
+	case p.Bandwidth <= 0:
+		return fmt.Errorf("simnet: NIC %q: Bandwidth %v must be positive", p.Name, p.Bandwidth)
+	case p.WireLatency < 0:
+		return fmt.Errorf("simnet: NIC %q: negative WireLatency %v", p.Name, p.WireLatency)
+	case p.SendOverhead < 0 || p.RecvCost < 0 || p.PollCost < 0 || p.DMASetup < 0:
+		return fmt.Errorf("simnet: NIC %q: negative per-packet cost", p.Name)
+	case p.PIOMax < 0 || p.EagerMax < 0 || p.HeaderBytes < 0:
+		return fmt.Errorf("simnet: NIC %q: negative size threshold", p.Name)
+	case p.Jitter < 0 || p.Jitter >= 1:
+		return fmt.Errorf("simnet: NIC %q: Jitter %v outside [0, 1)", p.Name, p.Jitter)
+	}
+	return nil
 }
 
 // HostParams describes a host model.

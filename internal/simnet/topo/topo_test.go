@@ -1,0 +1,158 @@
+package topo_test
+
+import (
+	"testing"
+
+	"newmad/internal/des"
+	"newmad/internal/simnet"
+	"newmad/internal/simnet/topo"
+)
+
+func TestBuildWiresFullMesh(t *testing.T) {
+	w := des.NewWorld()
+	top := topo.New().
+		Rack(2).
+		Rack(2).
+		Link(simnet.Myri10G()).
+		Link(simnet.QsNetII()).
+		Build(w)
+	if top.Size() != 4 || top.NumRacks() != 2 || top.Classes() != 2 {
+		t.Fatalf("size=%d racks=%d classes=%d", top.Size(), top.NumRacks(), top.Classes())
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				if top.NICs(i, j) != nil {
+					t.Fatalf("diagonal %d has NICs", i)
+				}
+				continue
+			}
+			nics := top.NICs(i, j)
+			if len(nics) != 2 {
+				t.Fatalf("pair (%d,%d) has %d NICs, want 2", i, j, len(nics))
+			}
+			for k, n := range nics {
+				peer := top.NICs(j, i)[k]
+				if n.Peer() != peer || peer.Peer() != n {
+					t.Fatalf("pair (%d,%d) class %d not connected back to back", i, j, k)
+				}
+			}
+		}
+	}
+	if top.RackOf(0) != 0 || top.RackOf(3) != 1 {
+		t.Fatal("rack assignment wrong")
+	}
+	if top.InterRack(0, 1) || !top.InterRack(1, 2) {
+		t.Fatal("InterRack wrong")
+	}
+}
+
+func TestOversubscribeDegradesInterRackOnly(t *testing.T) {
+	w := des.NewWorld()
+	top := topo.New().
+		Rack(2).
+		Rack(1).
+		Link(simnet.Myri10G()).
+		Oversubscribe(4).
+		Build(w)
+	full := simnet.Myri10G().Bandwidth
+	if bw := top.NICs(0, 1)[0].Bandwidth(); bw != full {
+		t.Fatalf("intra-rack link degraded: %v", bw)
+	}
+	if bw := top.NICs(0, 2)[0].Bandwidth(); bw != full/4 {
+		t.Fatalf("inter-rack link at %v, want %v", bw, full/4)
+	}
+}
+
+func TestLinkModifiersApplyToLastClass(t *testing.T) {
+	w := des.NewWorld()
+	top := topo.New().
+		Rack(2).
+		Link(simnet.Myri10G()).
+		Link(simnet.QsNetII()).Jitter(0.2).Bandwidth(500e6).
+		Build(w)
+	a := top.NICs(0, 1)
+	if a[0].Params().Jitter != 0 || a[0].Bandwidth() != simnet.Myri10G().Bandwidth {
+		t.Fatal("modifier leaked onto the first class")
+	}
+	if a[1].Params().Jitter != 0.2 || a[1].Bandwidth() != 500e6 {
+		t.Fatalf("modifiers not applied: jitter=%v bw=%v", a[1].Params().Jitter, a[1].Bandwidth())
+	}
+}
+
+func TestCutNICsCoversEveryCrossLink(t *testing.T) {
+	w := des.NewWorld()
+	top := topo.New().
+		Rack(2).
+		Rack(2).
+		Link(simnet.Myri10G()).
+		Link(simnet.QsNetII()).
+		Build(w)
+	cut := top.CutNICs(0, 1)
+	// 2 hosts × 2 hosts × 2 classes × 2 endpoints.
+	if len(cut) != 16 {
+		t.Fatalf("cut has %d NICs, want 16", len(cut))
+	}
+	seen := map[*simnet.NIC]bool{}
+	for _, n := range cut {
+		if seen[n] {
+			t.Fatal("duplicate NIC in cut")
+		}
+		seen[n] = true
+		if !seen[n.Peer()] {
+			// Peer must appear too (eventually); checked after the loop.
+			continue
+		}
+	}
+	for _, n := range cut {
+		if !seen[n.Peer()] {
+			t.Fatal("cut contains a NIC without its peer: one-sided partition loses packets silently")
+		}
+	}
+}
+
+func TestLinkDropAppliesBothEnds(t *testing.T) {
+	w := des.NewWorld()
+	top := topo.New().
+		Rack(2).
+		Link(simnet.Myri10G()).Drop(0.5).
+		Build(w)
+	na, nb := top.LinkNICs(0, 1, 0)
+	var delivered, dropped int
+	nb.SetDeliver(func(meta any) { delivered++ })
+	nb.SetOnDrop(func(meta any) { dropped++ })
+	for i := 0; i < 50; i++ {
+		if err := na.Send(64, nil, func() {}); err != nil {
+			t.Fatal(err)
+		}
+		w.Run()
+	}
+	if dropped == 0 || delivered == 0 || dropped+delivered != 50 {
+		t.Fatalf("drop=0.5 gave %d delivered, %d dropped", delivered, dropped)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	for name, build := range map[string]func(){
+		"no racks":   func() { topo.New().Link(simnet.Myri10G()).Build(des.NewWorld()) },
+		"one host":   func() { topo.New().Rack(1).Link(simnet.Myri10G()).Build(des.NewWorld()) },
+		"no links":   func() { topo.New().Rack(2).Build(des.NewWorld()) },
+		"empty rack": func() { topo.New().Rack(0) },
+		"bad link": func() {
+			p := simnet.Myri10G()
+			p.Bandwidth = 0
+			topo.New().Rack(2).Link(p).Build(des.NewWorld())
+		},
+		"modifier first": func() { topo.New().Rack(2).Drop(0.1) },
+		"bad oversub":    func() { topo.New().Oversubscribe(0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: accepted", name)
+				}
+			}()
+			build()
+		}()
+	}
+}

@@ -36,7 +36,15 @@ func (s *SplitDyn) Schedule(b *core.Backlog, r *core.Rail) *core.Packet {
 	}
 	if b.BodyCount() > 0 {
 		u := b.Body(0)
-		return b.ChunkFrom(u, s.take(b, r, u.Remaining()))
+		n := s.take(b, r, u.Remaining())
+		if n <= 0 {
+			// r carries no live weight (downed mid-transfer): leave the
+			// body to the surviving rails. ChunkFrom treats 0 as "no
+			// limit", so passing the zero take through would hand a dead
+			// rail the entire remainder.
+			return nil
+		}
+		return b.ChunkFrom(u, n)
 	}
 	if r == fastest(b) {
 		if units := gatherSmalls(b); len(units) > 0 {
@@ -76,7 +84,9 @@ func (s *SplitDyn) take(b *core.Backlog, r *core.Rail, rem int) int {
 		}
 	}
 	if wSum <= 0 || wR <= 0 {
-		return rem
+		// r is down or no rail is up: this rail takes nothing and the
+		// body stays queued for whoever is still alive.
+		return 0
 	}
 	n := int(float64(rem) * wR / wSum)
 	if n < b.MinChunk() {

@@ -10,10 +10,13 @@ import (
 
 // Timeline renders per-rail occupancy lanes from collected events: one
 // row per rail, time left to right, a letter at each packet post (D=data
-// or aggregate, R=RTS, C=CTS, K=chunk) and '=' while the rail is busy.
-// It makes scheduling decisions visible at a glance: aggregation shows
-// as lone D's on the fast rail, stripping as simultaneous K-runs on all
-// rails.
+// or aggregate, R=RTS, C=CTS, K=chunk), '=' while the rail is busy and
+// 'X' where the rail failed (a chaos-injected link fault or a driver
+// error, with or without a packet in flight). It makes scheduling
+// decisions visible at a glance: aggregation shows as lone D's on the
+// fast rail, stripping as simultaneous K-runs on all rails, and a
+// failover as an X on one lane with the K-runs continuing on the
+// survivors.
 func Timeline(evs []core.TraceEvent, width int) string {
 	if width < 16 {
 		width = 72
@@ -23,7 +26,12 @@ func Timeline(evs []core.TraceEvent, width int) string {
 		from, to int64
 		kind     core.Kind
 	}
+	type mark struct {
+		rail int
+		at   int64
+	}
 	var spans []span
+	var fails []mark
 	open := map[int]*span{}
 	rails := map[int]bool{}
 	var tMin, tMax int64 = 1<<62 - 1, 0
@@ -45,13 +53,24 @@ func Timeline(evs []core.TraceEvent, width int) string {
 					tMax = ev.Now
 				}
 			}
+			if ev.Ev == "fail" {
+				// A rail can die idle (no open span): still mark it.
+				fails = append(fails, mark{rail: ev.Rail, at: ev.Now})
+				rails[ev.Rail] = true
+				if ev.Now < tMin {
+					tMin = ev.Now
+				}
+				if ev.Now > tMax {
+					tMax = ev.Now
+				}
+			}
 		}
 	}
 	for _, s := range open { // still in flight at the end
 		s.to = tMax
 		spans = append(spans, *s)
 	}
-	if len(spans) == 0 || tMax <= tMin {
+	if (len(spans) == 0 && len(fails) == 0) || tMax <= tMin {
 		return "(no posts recorded)\n"
 	}
 	ids := make([]int, 0, len(rails))
@@ -85,6 +104,13 @@ func Timeline(evs []core.TraceEvent, width int) string {
 				row[c] = '='
 			}
 			row[from] = kindMark(s.kind)
+		}
+		// Fault marks last: a failure must stay visible even when it
+		// lands on a posted-packet cell.
+		for _, m := range fails {
+			if m.rail == rail {
+				row[cell(m.at)] = 'X'
+			}
 		}
 		fmt.Fprintf(&sb, "rail%-2d |%s|\n", rail, row)
 	}

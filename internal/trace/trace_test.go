@@ -131,6 +131,46 @@ func TestTimelineEmpty(t *testing.T) {
 	}
 }
 
+func TestTimelineMarksFaults(t *testing.T) {
+	evs := []core.TraceEvent{
+		{Now: 0, Ev: "post", Rail: 0, Kind: core.KChunk, Len: 1000},
+		{Now: 0, Ev: "post", Rail: 1, Kind: core.KChunk, Len: 800},
+		{Now: 500, Ev: "fail", Rail: 0, Kind: core.KChunk, Len: 1000}, // died with a packet in flight
+		{Now: 1000, Ev: "sent", Rail: 1},
+	}
+	out := Timeline(evs, 40)
+	lines := strings.Split(out, "\n")
+	var rail0, rail1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "rail0 ") {
+			rail0 = l
+		}
+		if strings.HasPrefix(l, "rail1 ") {
+			rail1 = l
+		}
+	}
+	if !strings.Contains(rail0, "X") {
+		t.Fatalf("rail0 fault not marked:\n%s", out)
+	}
+	if strings.Contains(rail1, "X") {
+		t.Fatalf("fault mark leaked onto the surviving rail:\n%s", out)
+	}
+}
+
+func TestTimelineMarksIdleRailDeath(t *testing.T) {
+	// A rail taken down by chaos while idle emits "fail" with no open
+	// span (engine traces an empty header); the X must still render.
+	evs := []core.TraceEvent{
+		{Now: 0, Ev: "post", Rail: 1, Kind: core.KData, Len: 64},
+		{Now: 400, Ev: "fail", Rail: 0},
+		{Now: 1000, Ev: "sent", Rail: 1},
+	}
+	out := Timeline(evs, 40)
+	if !strings.Contains(out, "rail0 ") || !strings.Contains(out, "X") {
+		t.Fatalf("idle rail death not marked:\n%s", out)
+	}
+}
+
 func TestTimelineUnterminatedSpan(t *testing.T) {
 	evs := []core.TraceEvent{
 		{Now: 0, Ev: "post", Rail: 0, Kind: core.KData},

@@ -45,6 +45,8 @@ import (
 	"newmad/internal/sampling"
 	"newmad/internal/session"
 	"newmad/internal/simnet"
+	"newmad/internal/simnet/chaos"
+	"newmad/internal/simnet/topo"
 	"newmad/internal/strategy"
 	"newmad/internal/trace"
 )
@@ -183,6 +185,44 @@ type SimClusterConfig = bench.ClusterConfig
 // NewSimCluster builds an N-node simulated platform with an mpl
 // communicator per rank (Cluster.Comm / Cluster.SpawnRanks).
 func NewSimCluster(cfg SimClusterConfig) *SimCluster { return bench.NewCluster(cfg) }
+
+// Declarative topology and chaos (internal/simnet/topo, …/chaos): racks
+// of hosts wired into a full NIC mesh per rail class, and fault
+// schedules armed on cancellable DES timers against the built links.
+type (
+	// TopoBuilder accumulates a declarative platform description:
+	// NewTopo().Rack(4).Rack(4).Link(Myri10G()).Oversubscribe(4).Build(w).
+	TopoBuilder = topo.Builder
+	// Topology is a built platform: hosts, racks and the NIC mesh.
+	Topology = topo.Topology
+	// ChaosSchedule is a named list of faults (link flaps, bandwidth
+	// degradation, loss, jitter, rack partitions) with virtual-time
+	// offsets, inert until armed into a world.
+	ChaosSchedule = chaos.Schedule
+	// ChaosFault is one scheduled perturbation of a ChaosSchedule.
+	ChaosFault = chaos.Fault
+	// ChaosArmed is a schedule wired into a world; Stop cancels every
+	// fault that has not fired yet.
+	ChaosArmed = chaos.Armed
+)
+
+// NewWorld returns an empty discrete-event world for a simulated
+// platform (topologies are built into a world; see NewTopo).
+func NewWorld() *World { return des.NewWorld() }
+
+// NewTopo returns an empty topology builder.
+func NewTopo() *TopoBuilder { return topo.New() }
+
+// NewChaosSchedule returns an empty fault schedule.
+func NewChaosSchedule(name string) *ChaosSchedule { return chaos.NewSchedule(name) }
+
+// NewSimClusterFromTopo wires engines, gates and rails over a built
+// topology (cfg.Nodes, cfg.NICs and cfg.Host are ignored — the topology
+// fixes them), sharing its world and NIC mesh so chaos schedules built
+// against the topology perturb the running cluster.
+func NewSimClusterFromTopo(top *Topology, cfg SimClusterConfig) *SimCluster {
+	return bench.ClusterFromTopo(top, cfg)
+}
 
 // Comm is a ranked communicator over the engine (internal/mpl): blocking
 // point-to-point operations plus the collectives subsystem — Barrier,
