@@ -62,7 +62,7 @@ func TestChaosOpsCompleteOrFailLoudly(t *testing.T) {
 			for _, op := range ops {
 				op := op
 				t.Run(op.Name, func(t *testing.T) {
-					run := runChaos(chaosTestTopo, splitStrat, sc, op, 4<<10, 3)
+					run := runChaos(chaosTestTopo, ClusterConfig{Strategy: splitStrat}, sc, op, 4<<10, 3)
 					for _, err := range run.Errs {
 						wantChaosErr(t, err)
 					}
@@ -85,7 +85,7 @@ func TestChaosOpsCompleteOrFailLoudly(t *testing.T) {
 // iteration sails through, the schedule wasn't injecting anything.
 func TestChaosPartitionBites(t *testing.T) {
 	sc := partitionScenario(0, 1, time.Second)
-	run := runChaos(chaosTestTopo, splitStrat, sc, chaosColls()[1] /* bcast */, 4<<10, 3)
+	run := runChaos(chaosTestTopo, ClusterConfig{Strategy: splitStrat}, sc, chaosColls()[1] /* bcast */, 4<<10, 3)
 	if len(run.Errs) == 0 {
 		t.Fatal("partition injected no faults: every bcast iteration completed")
 	}
@@ -99,8 +99,8 @@ func TestChaosPartitionBites(t *testing.T) {
 // surviving Quadrics rail, hence strictly slower than the two-rail
 // baseline — and deliver intact data.
 func TestChaosRailDownFailsOver(t *testing.T) {
-	base := runChaos(chaosPairTopo, splitStrat, chaosScenarios()[0], chaosSplitOp(), 2<<20, 4)
-	down := runChaos(chaosPairTopo, splitStrat, railDownScenario(t), chaosSplitOp(), 2<<20, 4)
+	base := runChaos(chaosPairTopo, ClusterConfig{Strategy: splitStrat}, chaosScenarios()[0], chaosSplitOp(), 2<<20, 4)
+	down := runChaos(chaosPairTopo, ClusterConfig{Strategy: splitStrat}, railDownScenario(t), chaosSplitOp(), 2<<20, 4)
 	if len(base.Makespans) != 4 || len(base.Errs) != 0 {
 		t.Fatalf("baseline: %d makespans, errs %v", len(base.Makespans), base.Errs)
 	}

@@ -80,13 +80,18 @@ func chaosScenarios() []chaosScenario {
 			return s
 		}},
 		{Name: "loss-20%", Build: func(top *topo.Topology) *chaos.Schedule {
-			// A dropped arrival latches the RECEIVING side's rail down
+			// What loss does depends on the rail stack. On RAW rails a
+			// dropped arrival latches the RECEIVING side's rail down
 			// (simdrv reports RailDown once), but the sender of a
 			// silently lossy link never learns — there is no retransmit
 			// — so iterations that lose a packet fail loudly on their
-			// virtual-time deadline. Zero points on the loss curve read
-			// "no iteration survived", deliberately contrasted with
-			// rail-down, where both ends know and fail over.
+			// virtual-time deadline; that asymmetry is unavoidable on a
+			// one-way lossy datagram link, and a zero point on a raw
+			// loss curve reads "no iteration survived". On RELIABLE
+			// rails (ClusterConfig.Reliable — what the figures run) the
+			// relnet layer retransmits in virtual time: iterations
+			// complete, and the p50/p99 spread above baseline is the
+			// measured retransmission overhead.
 			s := chaos.NewSchedule("loss-20%")
 			eachLink(top, 0, func(a, b *simnet.NIC) { s.DropOnLink(chaosAt, chaosHold, 0.20, a, b) })
 			return s
@@ -199,18 +204,23 @@ type chaosRun struct {
 	Makespans []float64
 	// Errs collects every per-rank, per-iteration failure.
 	Errs []error
+	// Retransmits totals the reliability-layer re-sends across all
+	// rails (zero on raw-rail runs): the price paid for the completed
+	// iterations above.
+	Retransmits uint64
 }
 
-// runChaos builds a fresh cluster over build's topology, arms the
-// scenario's fault schedule, and runs op iters times on every rank,
-// each iteration fenced by a barrier and bounded by a virtual-time
-// deadline. The world runs to completion: a hang would surface as a DES
-// deadlock panic, a lost completion as DeadlineExceeded.
-func runChaos(build func(w *des.World) *topo.Topology, strat func() core.Strategy,
+// runChaos builds a fresh cluster over build's topology per cfg (which
+// chooses raw or relnet-wrapped rails), arms the scenario's fault
+// schedule, and runs op iters times on every rank, each iteration
+// fenced by a barrier and bounded by a virtual-time deadline. The world
+// runs to completion: a hang would surface as a DES deadlock panic, a
+// lost completion as DeadlineExceeded.
+func runChaos(build func(w *des.World) *topo.Topology, cfg ClusterConfig,
 	sc chaosScenario, op chaosOp, size, iters int) chaosRun {
 	w := des.NewWorld()
 	top := build(w)
-	c := ClusterFromTopo(top, ClusterConfig{Strategy: strat})
+	c := ClusterFromTopo(top, cfg)
 	rec := make([][]chaosIter, c.Size())
 	c.SpawnRanks(func(p *des.Proc, comm *mpl.Comm) {
 		rows := make([]chaosIter, iters)
@@ -230,7 +240,7 @@ func runChaos(build func(w *des.World) *topo.Topology, strat func() core.Strateg
 	sc.Build(top).Arm(w)
 	w.Run()
 
-	var run chaosRun
+	run := chaosRun{Retransmits: c.Retransmits()}
 	for it := 0; it < iters; it++ {
 		ok := true
 		start, done := des.Time(math.MaxInt64), des.Time(0)
@@ -293,12 +303,12 @@ func chaosPairTopo(w *des.World) *topo.Topology {
 
 // chaosSeries measures op under every scenario and returns the p50 and
 // p99 makespan curves (ns), X indexing the scenario list.
-func chaosSeries(build func(w *des.World) *topo.Topology, strat func() core.Strategy,
+func chaosSeries(build func(w *des.World) *topo.Topology, cfg ClusterConfig,
 	name string, op chaosOp, size, iters int) (p50, p99 Series) {
 	p50 = Series{Name: name + " p50"}
 	p99 = Series{Name: name + " p99"}
 	for x, sc := range chaosScenarios() {
-		run := runChaos(build, strat, sc, op, size, iters)
+		run := runChaos(build, cfg, sc, op, size, iters)
 		p50.Points = append(p50.Points, Point{X: x, Y: percentile(run.Makespans, 0.50)})
 		p99.Points = append(p99.Points, Point{X: x, Y: percentile(run.Makespans, 0.99)})
 	}
@@ -319,20 +329,25 @@ func chaosXLabel() string {
 
 // ExtChaosColl builds the collective chaos figure: the eight mpl
 // collectives on two oversubscribed racks (8 ranks, two rails), p50 and
-// p99 makespan under each fault scenario. Iterations that fail under a
-// fault (loudly — rail-failure errors or virtual-time deadlines) are
-// excluded from the percentiles; a zero point means no iteration
-// completed.
+// p99 makespan under each fault scenario. Rails run under the relnet
+// reliability layer, so the loss scenario completes by retransmission
+// (its spread over baseline is the retransmit overhead) instead of
+// zeroing out. Iterations that fail under a fault (loudly —
+// rail-failure errors or virtual-time deadlines) are excluded from the
+// percentiles; a zero point means no iteration completed.
 func ExtChaosColl(q Quality) *Figure {
 	const size = 32 << 10
-	split := func() core.Strategy { return strategy.NewSplit(strategy.SplitRatio) }
+	cfg := ClusterConfig{
+		Strategy: func() core.Strategy { return strategy.NewSplit(strategy.SplitRatio) },
+		Reliable: true,
+	}
 	fig := &Figure{
 		ID:     "ext-chaos-coll",
-		Title:  "Collectives under fault injection, 2x4 ranks (makespan)",
+		Title:  "Collectives under fault injection, 2x4 ranks, reliable rails (makespan)",
 		XLabel: chaosXLabel(), YLabel: "us",
 	}
 	for _, op := range chaosColls() {
-		p50, p99 := chaosSeries(chaosCollTopo, split, op.Name, op, size, q.Warmup+q.Iters)
+		p50, p99 := chaosSeries(chaosCollTopo, cfg, op.Name, op, size, q.Warmup+q.Iters)
 		fig.Series = append(fig.Series, p50, p99)
 	}
 	return fig
@@ -340,10 +355,14 @@ func ExtChaosColl(q Quality) *Figure {
 
 // ExtChaosSplit builds the split-transfer chaos figure: a 2 MiB
 // transfer striped across both rails, static split versus dynamic
-// re-splitting, p50 and p99 makespan under each fault scenario. The
-// rail-down scenarios are where SplitDyn earns its keep: surviving
-// iterations re-split the remainder over the live rail instead of
-// handing the dead rail its share.
+// re-splitting on reliable rails, p50 and p99 makespan under each fault
+// scenario. The rail-down scenarios are where SplitDyn earns its keep:
+// surviving iterations re-split the remainder over the live rail
+// instead of handing the dead rail its share. A raw-rail contrast
+// series rides along so the loss column keeps showing the asymmetry
+// reliability removes: raw rails zero out under silent loss (the
+// receiver latches down, the sender never learns), reliable rails
+// complete with measured retransmit overhead.
 func ExtChaosSplit(q Quality) *Figure {
 	const size = 2 << 20
 	fig := &Figure{
@@ -351,14 +370,16 @@ func ExtChaosSplit(q Quality) *Figure {
 		Title:  "Two-rail split transfer under fault injection (makespan)",
 		XLabel: chaosXLabel(), YLabel: "us",
 	}
+	split := func() core.Strategy { return strategy.NewSplit(strategy.SplitRatio) }
 	for _, s := range []struct {
-		name  string
-		strat func() core.Strategy
+		name string
+		cfg  ClusterConfig
 	}{
-		{"split", func() core.Strategy { return strategy.NewSplit(strategy.SplitRatio) }},
-		{"split-dyn", func() core.Strategy { return strategy.NewSplitDyn() }},
+		{"split", ClusterConfig{Strategy: split, Reliable: true}},
+		{"split-dyn", ClusterConfig{Strategy: func() core.Strategy { return strategy.NewSplitDyn() }, Reliable: true}},
+		{"split-raw", ClusterConfig{Strategy: split}},
 	} {
-		p50, p99 := chaosSeries(chaosPairTopo, s.strat, s.name, chaosSplitOp(), size, q.Warmup+q.Iters)
+		p50, p99 := chaosSeries(chaosPairTopo, s.cfg, s.name, chaosSplitOp(), size, q.Warmup+q.Iters)
 		fig.Series = append(fig.Series, p50, p99)
 	}
 	return fig

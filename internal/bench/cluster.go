@@ -8,6 +8,7 @@ import (
 	"newmad/internal/des"
 	"newmad/internal/drivers/simdrv"
 	"newmad/internal/mpl"
+	"newmad/internal/relnet"
 	"newmad/internal/sampling"
 	"newmad/internal/simnet"
 	"newmad/internal/simnet/topo"
@@ -30,6 +31,15 @@ type ClusterConfig struct {
 	MinChunk     int
 	// Sample runs init-time sampling per rail and installs the profiles.
 	Sample bool
+	// Reliable wraps every rail in the relnet reliability layer
+	// (sequencing, acks, retransmission): chaos-injected packet loss is
+	// then recovered by retransmission in virtual time instead of
+	// latching the receiving rail down. Retransmit timers land on the
+	// world's cancellable timer API via a DES clock.
+	Reliable bool
+	// Rel tunes the reliability layer when Reliable is set; zero values
+	// derive from each rail's NIC profile.
+	Rel relnet.Config
 }
 
 // Cluster is an N-node simulated platform, fully connected.
@@ -50,6 +60,43 @@ type Cluster struct {
 	// distributes it, rather than letting each rank seed from its own
 	// sampled figures.
 	Selector mpl.Selector
+	// Rels holds every reliability-layer driver when the cluster was
+	// built with ClusterConfig.Reliable, for protocol-counter drilling.
+	Rels []*relnet.Driver
+}
+
+// RelStats sums the protocol counters over every reliable rail (zero
+// when the cluster runs raw rails).
+func (c *Cluster) RelStats() relnet.Stats {
+	var sum relnet.Stats
+	for _, d := range c.Rels {
+		st := d.Stats()
+		sum.SegsSent += st.SegsSent
+		sum.SegsRecv += st.SegsRecv
+		sum.Retransmits += st.Retransmits
+		sum.FastRetransmits += st.FastRetransmits
+		sum.Timeouts += st.Timeouts
+		sum.DupsDropped += st.DupsDropped
+		sum.AcksSent += st.AcksSent
+		sum.AcksPiggybacked += st.AcksPiggybacked
+		sum.Garbage += st.Garbage
+	}
+	return sum
+}
+
+// Retransmits reports the total retransmission count across all
+// reliable rails: the measured price of surviving a lossy fabric.
+func (c *Cluster) Retransmits() uint64 { return c.RelStats().Retransmits }
+
+// newRailDriver builds one rail driver over a NIC per the cluster
+// config, retaining reliable drivers for stats drilling.
+func (c *Cluster) newRailDriver(cfg *ClusterConfig, n *simnet.NIC) core.Driver {
+	if !cfg.Reliable {
+		return simdrv.New(n)
+	}
+	d := simdrv.NewReliable(n, cfg.Rel)
+	c.Rels = append(c.Rels, d)
+	return d
 }
 
 // NewCluster builds the platform described by cfg.
@@ -92,8 +139,8 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 				if cfg.Sample {
 					prof = sampling.SampleNICPair(w, ni, nj, nil)
 				}
-				ri := gi.AddRail(simdrv.New(ni))
-				rj := gj.AddRail(simdrv.New(nj))
+				ri := gi.AddRail(c.newRailDriver(&cfg, ni))
+				rj := gj.AddRail(c.newRailDriver(&cfg, nj))
 				if cfg.Sample {
 					ri.SetProfile(prof)
 					rj.SetProfile(prof)
@@ -140,8 +187,8 @@ func ClusterFromTopo(top *topo.Topology, cfg ClusterConfig) *Cluster {
 				if cfg.Sample {
 					prof = sampling.SampleNICPair(top.W, ni, nj, nil)
 				}
-				ri := gi.AddRail(simdrv.New(ni))
-				rj := gj.AddRail(simdrv.New(nj))
+				ri := gi.AddRail(c.newRailDriver(&cfg, ni))
+				rj := gj.AddRail(c.newRailDriver(&cfg, nj))
 				if cfg.Sample {
 					ri.SetProfile(prof)
 					rj.SetProfile(prof)

@@ -10,6 +10,9 @@ import (
 	"newmad/internal/core"
 	"newmad/internal/drivers/memdrv"
 	"newmad/internal/mpl"
+	"newmad/internal/simnet"
+	"newmad/internal/simnet/chaos"
+	"newmad/internal/simnet/topo"
 	"newmad/internal/strategy"
 )
 
@@ -27,8 +30,9 @@ import (
 //     exceed a budget is a regression, and nmad-bench -emit-json exits
 //     nonzero.
 
-// PerfSchema identifies the report layout.
-const PerfSchema = "newmad-perf/1"
+// PerfSchema identifies the report layout. /2 added the loss_recovery
+// family (reliable-rail split transfers under per-packet loss).
+const PerfSchema = "newmad-perf/2"
 
 // LatencyPoint is one DES pingpong measurement.
 type LatencyPoint struct {
@@ -41,6 +45,23 @@ type MakespanPoint struct {
 	Ranks     int     `json:"ranks"`
 	SizeBytes int     `json:"size_bytes"`
 	MeanUs    float64 `json:"mean_us"`
+}
+
+// LossRecoveryPoint is one DES loss-recovery measurement: a 1 MiB
+// split transfer striped across the two-rail platform with every rail
+// relnet-wrapped, under uniform per-packet loss from t=0. Deterministic
+// (the per-NIC fault RNGs are seeded from topology coordinates), so the
+// retransmit counts and makespans are comparable across machines; the
+// spread of p50/p99 over the loss-0 row is the measured retransmission
+// overhead.
+type LossRecoveryPoint struct {
+	LossPct     int     `json:"loss_pct"`
+	SizeBytes   int     `json:"size_bytes"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	Retransmits uint64  `json:"retransmits"`
+	Completed   int     `json:"completed"`
+	Iters       int     `json:"iters"`
 }
 
 // ThroughputPoint is one wall-clock engine throughput measurement.
@@ -60,8 +81,9 @@ type AllocFigure struct {
 type PerfReport struct {
 	Schema string `json:"schema"`
 	// DES figures: deterministic virtual time.
-	PingpongLatency   []LatencyPoint  `json:"pingpong_latency"`
-	AllreduceMakespan []MakespanPoint `json:"allreduce_makespan"`
+	PingpongLatency   []LatencyPoint      `json:"pingpong_latency"`
+	AllreduceMakespan []MakespanPoint     `json:"allreduce_makespan"`
+	LossRecovery      []LossRecoveryPoint `json:"loss_recovery"`
 	// Wall-clock figures: machine-dependent, informational only.
 	MultiGateThroughput []ThroughputPoint `json:"multigate_throughput"`
 	// Allocation figures: deterministic, budgeted.
@@ -87,6 +109,10 @@ func BuildPerfReport(q Quality) *PerfReport {
 		})
 	}
 
+	for _, loss := range []int{0, 10, 20} {
+		r.LossRecovery = append(r.LossRecovery, lossRecovery(loss, 1<<20, q.Warmup+q.Iters))
+	}
+
 	for _, gates := range []int{1, 4} {
 		r.MultiGateThroughput = append(r.MultiGateThroughput, ThroughputPoint{
 			Gates: gates, MsgsSec: multiGateThroughput(gates),
@@ -98,6 +124,36 @@ func BuildPerfReport(q Quality) *PerfReport {
 		{Name: "memdrv-aggregation", AllocsPerOp: aggregationAllocs(), Budget: 0},
 	}
 	return r
+}
+
+// lossRecovery runs the loss_recovery figure at one loss rate: the
+// split transfer over relnet-wrapped rails, loss on every class from
+// t=0 so no iteration escapes it.
+func lossRecovery(lossPct, size, iters int) LossRecoveryPoint {
+	p := float64(lossPct) / 100
+	sc := chaosScenario{
+		Name: fmt.Sprintf("loss-%d%%", lossPct),
+		Build: func(top *topo.Topology) *chaos.Schedule {
+			s := chaos.NewSchedule("loss")
+			if p > 0 {
+				eachLink(top, -1, func(a, b *simnet.NIC) { s.DropOnLink(0, chaosHold, p, a, b) })
+			}
+			return s
+		},
+	}
+	cfg := ClusterConfig{
+		Strategy: func() core.Strategy { return strategy.NewSplit(strategy.SplitRatio) },
+		Reliable: true,
+	}
+	run := runChaos(chaosPairTopo, cfg, sc, chaosSplitOp(), size, iters)
+	return LossRecoveryPoint{
+		LossPct: lossPct, SizeBytes: size,
+		P50Us:       percentile(run.Makespans, 0.50) / 1e3,
+		P99Us:       percentile(run.Makespans, 0.99) / 1e3,
+		Retransmits: run.Retransmits,
+		Completed:   len(run.Makespans),
+		Iters:       iters,
+	}
 }
 
 // CheckBudgets returns an error naming every allocation figure over its

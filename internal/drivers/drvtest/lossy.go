@@ -1,0 +1,230 @@
+package drvtest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"newmad/internal/core"
+	"newmad/internal/relnet"
+)
+
+// LossyPair is one relnet-wrapped driver pair under test, with the
+// fault injectors sitting between each reliability layer and its raw
+// transport. The suite drives deterministic drop/dup/reorder schedules
+// through the injectors and holds the pair to the same ordering and
+// integrity contract as a clean link.
+type LossyPair struct {
+	A, B core.Driver
+	// Pump advances out-of-band progress (a simulated world's event
+	// loop, which is also where virtual-time retransmit timers fire).
+	// May be nil for wall-clock transports.
+	Pump func()
+	// FlakyA and FlakyB inject faults on A's and B's outgoing
+	// datagrams respectively.
+	FlakyA, FlakyB *relnet.Flaky
+	// StatsA and StatsB expose the reliability layers' protocol
+	// counters, so the suite can assert that recovery actually ran
+	// (retransmissions happened, duplicates were suppressed) rather
+	// than the injector silently doing nothing.
+	StatsA, StatsB func() relnet.Stats
+}
+
+// LossyHarness adapts one relnet-backed driver package to the lossy
+// conformance section. Configure the reliability layer for fast
+// wall-clock recovery (small RTO, modest retry budget) unless the
+// transport runs on a virtual clock.
+type LossyHarness struct {
+	// New builds a fresh connected lossy pair for one subtest. The
+	// suite closes both drivers when the subtest ends.
+	New func(t *testing.T) LossyPair
+}
+
+// RunLossy executes the lossy-transport conformance section: a driver
+// whose reliability comes from relnet must deliver in order, byte
+// intact, exactly once, under deterministic drop, duplication and
+// reordering schedules; must report retry exhaustion as exactly one
+// RailDown; and must hold the arena-lease invariant throughout.
+func RunLossy(t *testing.T, h LossyHarness) {
+	t.Run("OrderedUnderDrop", func(t *testing.T) {
+		leakCheck(t)
+		p := lossySetup(t, h)
+		p.FlakyA.SetDropEvery(3)
+		ra, rb := lossyBind(p)
+		lossyStream(t, p, ra, rb, 24)
+		if st := p.StatsA(); st.Retransmits == 0 {
+			t.Error("no retransmissions despite 1-in-3 loss")
+		}
+		if dropped, _, _ := p.FlakyA.Injected(); dropped == 0 {
+			t.Error("injector dropped nothing")
+		}
+	})
+
+	t.Run("OrderedUnderDup", func(t *testing.T) {
+		leakCheck(t)
+		p := lossySetup(t, h)
+		p.FlakyA.SetDupEvery(2)
+		ra, rb := lossyBind(p)
+		lossyStream(t, p, ra, rb, 24)
+		if st := p.StatsB(); st.DupsDropped == 0 {
+			t.Error("receiver suppressed no duplicates despite 1-in-2 duplication")
+		}
+	})
+
+	t.Run("OrderedUnderReorder", func(t *testing.T) {
+		leakCheck(t)
+		p := lossySetup(t, h)
+		p.FlakyA.SetSwapEvery(4)
+		ra, rb := lossyBind(p)
+		lossyStream(t, p, ra, rb, 24)
+	})
+
+	t.Run("BidirectionalLossStress", func(t *testing.T) {
+		leakCheck(t)
+		p := lossySetup(t, h)
+		p.FlakyA.SetDropEvery(4)
+		p.FlakyB.SetDropEvery(5)
+		p.FlakyA.SetDupEvery(7)
+		p.FlakyB.SetSwapEvery(6)
+		ra, rb := lossyBind(p)
+		const n = 16
+		for i := 0; i < n; i++ {
+			pa := bytes.Repeat([]byte{byte(i + 1)}, 80+i*11)
+			pb := bytes.Repeat([]byte{byte(0x80 + i)}, 60+i*13)
+			if err := p.A.Send(pkt(1, uint64(i), pa)); err != nil {
+				t.Fatalf("A send %d: %v", i, err)
+			}
+			if err := p.B.Send(pkt(2, uint64(i), pb)); err != nil {
+				t.Fatalf("B send %d: %v", i, err)
+			}
+		}
+		lossyWait(t, p, func() bool {
+			a, _, _, _ := ra.snapshot()
+			b, _, _, _ := rb.snapshot()
+			return a >= n && b >= n
+		}, "both directions complete under crossed loss")
+		for i := 0; i < n; i++ {
+			if got := ra.arrival(i); got.Hdr.MsgID != uint64(i) {
+				t.Fatalf("A arrival %d is msg %d: order broken", i, got.Hdr.MsgID)
+			}
+			if got := rb.arrival(i); got.Hdr.MsgID != uint64(i) {
+				t.Fatalf("B arrival %d is msg %d: order broken", i, got.Hdr.MsgID)
+			}
+		}
+	})
+
+	t.Run("RetryExhaustionRailDown", func(t *testing.T) {
+		leakCheck(t)
+		p := lossySetup(t, h)
+		p.FlakyA.SetDropEvery(1) // blackhole A->B
+		ra, _ := lossyBind(p)
+		if err := p.A.Send(pkt(1, 0, []byte("into the void"))); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		lossyWait(t, p, func() bool {
+			_, _, fails, downs := ra.snapshot()
+			return fails+downs >= 1
+		}, "RailDown after retry exhaustion")
+		// Exactly once, however long the rail is watched afterwards.
+		settle := time.Now().Add(50 * time.Millisecond)
+		for time.Now().Before(settle) {
+			if p.Pump != nil {
+				p.Pump()
+			}
+			time.Sleep(time.Millisecond)
+		}
+		_, _, fails, downs := ra.snapshot()
+		if fails+downs != 1 {
+			t.Fatalf("failure reported %d times, want exactly once", fails+downs)
+		}
+		ra.mu.Lock()
+		var err error
+		if len(ra.railsDown) > 0 {
+			err = ra.railsDown[0]
+		} else {
+			err = ra.sendFails[0]
+		}
+		ra.mu.Unlock()
+		if !errors.Is(err, core.ErrRailDown) {
+			t.Fatalf("exhaustion error %v does not wrap core.ErrRailDown", err)
+		}
+		if err := p.A.Send(pkt(1, 1, []byte("after death"))); err == nil {
+			t.Fatal("Send accepted on an exhausted rail")
+		}
+	})
+}
+
+// lossySetup builds a lossy pair and arranges cleanup.
+func lossySetup(t *testing.T, h LossyHarness) LossyPair {
+	t.Helper()
+	p := h.New(t)
+	t.Cleanup(func() {
+		_ = p.A.Close()
+		_ = p.B.Close()
+		if p.Pump != nil {
+			p.Pump()
+		}
+	})
+	return p
+}
+
+// lossyBind attaches fresh recorders to both drivers.
+func lossyBind(p LossyPair) (ra, rb *Recorder) {
+	ra, rb = &Recorder{}, &Recorder{}
+	p.A.Bind(0, ra)
+	p.B.Bind(0, rb)
+	return ra, rb
+}
+
+// lossyStream posts n packets A->B and requires in-order, byte-exact,
+// exactly-once delivery with one completion per send.
+func lossyStream(t *testing.T, p LossyPair, ra, rb *Recorder, n int) {
+	t.Helper()
+	var want [][]byte
+	for i := 0; i < n; i++ {
+		payload := bytes.Repeat([]byte{byte(i + 1)}, 100+i*37)
+		want = append(want, payload)
+		if err := p.A.Send(pkt(uint32(i%3), uint64(i), payload)); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	lossyWait(t, p, func() bool {
+		arr, _, _, _ := rb.snapshot()
+		return arr >= n
+	}, fmt.Sprintf("%d packets through the lossy link", n))
+	if arr, _, _, _ := rb.snapshot(); arr != n {
+		t.Fatalf("%d arrivals, want exactly %d (duplicates leaked through?)", arr, n)
+	}
+	for i := 0; i < n; i++ {
+		got := rb.arrival(i)
+		if got.Hdr.MsgID != uint64(i) {
+			t.Fatalf("arrival %d is msg %d: order broken", i, got.Hdr.MsgID)
+		}
+		if !bytes.Equal(got.Payload, want[i]) {
+			t.Fatalf("msg %d: payload corrupt (%d bytes, want %d)", i, len(got.Payload), len(want[i]))
+		}
+	}
+	if _, comp, fails, _ := ra.snapshot(); comp != n || fails != 0 {
+		t.Fatalf("sender saw %d completions, %d failures; want %d, 0", comp, fails, n)
+	}
+}
+
+// lossyWait pumps until cond holds or a real-time deadline passes.
+func lossyWait(t *testing.T, p LossyPair, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if p.Pump != nil {
+			p.Pump()
+		}
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,60 @@
+package memdrv
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"newmad/internal/core"
+	"newmad/internal/drivers/drvtest"
+	"newmad/internal/relnet"
+)
+
+// lossyCfg keeps wall-clock recovery fast enough for a test suite:
+// retransmit after 2ms, give up after 4 tries (~30ms worst case with
+// backoff).
+func lossyCfg() relnet.Config {
+	return relnet.Config{RTO: 2 * time.Millisecond, RetryBudget: 4}
+}
+
+// TestLossyConformance runs the lossy-transport contract against the
+// reliability layer over the in-process datagram loopback: the
+// hermetic, wall-clock instantiation of relnet.
+func TestLossyConformance(t *testing.T) {
+	drvtest.RunLossy(t, drvtest.LossyHarness{
+		New: func(t *testing.T) drvtest.LossyPair {
+			ta, tb := TransportPair(t.Name(), core.Profile{}, 2<<10)
+			fa, fb := relnet.NewFlaky(ta), relnet.NewFlaky(tb)
+			da, db := relnet.Wrap(fa, lossyCfg()), relnet.Wrap(fb, lossyCfg())
+			return drvtest.LossyPair{
+				A: da, B: db,
+				FlakyA: fa, FlakyB: fb,
+				StatsA: da.Stats, StatsB: db.Stats,
+			}
+		},
+	})
+}
+
+// TestReliableDriverConformance runs the full driver contract suite
+// against relnet over the loopback transport: the reliability layer is
+// a core.Driver and must satisfy everything a raw driver does,
+// including engine-driven cancel and fault semantics.
+func TestReliableDriverConformance(t *testing.T) {
+	drvtest.Run(t, drvtest.Harness{
+		New: func(t *testing.T) drvtest.Pair {
+			ta, tb := TransportPair(t.Name(), core.Profile{}, 2<<10)
+			da, db := relnet.Wrap(ta, lossyCfg()), relnet.Wrap(tb, lossyCfg())
+			return drvtest.Pair{
+				A: da, B: db,
+				// The loopback cannot die on its own; the closest
+				// asynchronous failure is the transport death callback
+				// (a socket reader dying, in loopback costume).
+				Break: func() { ta.FailAsync(errors.New("injected transport death")) },
+				Flap: func() {
+					ta.FailAsync(errors.New("injected flap"))
+					tb.FailAsync(errors.New("injected flap"))
+				},
+			}
+		},
+	})
+}

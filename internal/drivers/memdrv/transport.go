@@ -1,0 +1,112 @@
+package memdrv
+
+import (
+	"sync"
+
+	"newmad/internal/core"
+)
+
+// Transport is an in-process datagram loopback implementing
+// relnet.Transport (structurally — memdrv does not import relnet): a
+// connected pair moving datagrams synchronously, dropping them when the
+// peer is closed or unbound. It exists so the reliability layer (and
+// its conformance sections) can be exercised hermetically, with
+// wall-clock timers but no sockets and no simulation.
+type Transport struct {
+	name string
+	prof core.Profile
+	mtu  int
+	peer *Transport
+
+	mu     sync.Mutex
+	recv   func(*core.Buf)
+	fail   func(error)
+	closed bool
+}
+
+// DefaultTransportMTU is the datagram size cap when TransportPair is
+// given zero.
+const DefaultTransportMTU = 8 << 10
+
+// TransportPair builds a connected loopback transport pair. A zero
+// profile gets DefaultProfile; a zero mtu gets DefaultTransportMTU.
+func TransportPair(name string, prof core.Profile, mtu int) (*Transport, *Transport) {
+	if prof == (core.Profile{}) {
+		prof = DefaultProfile()
+	}
+	if mtu <= 0 {
+		mtu = DefaultTransportMTU
+	}
+	a := &Transport{name: name + ".a", prof: prof, mtu: mtu}
+	b := &Transport{name: name + ".b", prof: prof, mtu: mtu}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Name implements relnet.Transport.
+func (t *Transport) Name() string { return "memdg:" + t.name }
+
+// Profile implements relnet.Transport.
+func (t *Transport) Profile() core.Profile { return t.prof }
+
+// MTU implements relnet.Transport.
+func (t *Transport) MTU() int { return t.mtu }
+
+// SetRecv implements relnet.Transport.
+func (t *Transport) SetRecv(fn func(*core.Buf)) {
+	t.mu.Lock()
+	t.recv = fn
+	t.mu.Unlock()
+}
+
+// SetFail implements relnet.Transport. The loopback itself never fails
+// asynchronously; the callback is kept for symmetry.
+func (t *Transport) SetFail(fn func(error)) {
+	t.mu.Lock()
+	t.fail = fn
+	t.mu.Unlock()
+}
+
+// Send implements relnet.Transport: synchronous delivery into the
+// peer's recv callback, exactly like the memdrv driver's event-driven
+// delivery. A closed or unbound peer swallows the datagram — that is a
+// datagram transport's prerogative, and the reliability layer's problem.
+func (t *Transport) Send(f *core.Buf) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		f.Release()
+		return ErrDown
+	}
+	p := t.peer
+	t.mu.Unlock()
+	p.mu.Lock()
+	rx := p.recv
+	dead := p.closed
+	p.mu.Unlock()
+	if dead || rx == nil {
+		f.Release()
+		return nil
+	}
+	rx(f)
+	return nil
+}
+
+// Close implements relnet.Transport. Idempotent.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	return nil
+}
+
+// FailAsync fires the transport-death callback (tests: simulates a
+// reader goroutine dying under the reliability layer).
+func (t *Transport) FailAsync(err error) {
+	t.mu.Lock()
+	fn := t.fail
+	t.mu.Unlock()
+	if fn != nil {
+		fn(err)
+	}
+}

@@ -1,0 +1,63 @@
+package relnet
+
+import (
+	"time"
+
+	"newmad/internal/des"
+)
+
+// Clock abstracts the timer source behind the retransmit machinery, so
+// the same protocol code runs against real time (udpdrv, in-process
+// loopback transports) and against the DES virtual clock (simnet-backed
+// rails). Both implementations provide CANCELLABLE timers: a stopped
+// retransmit timer must not fire, and under the DES it must not advance
+// the virtual clock either — a phantom wakeup after the last ack would
+// inflate every measured makespan.
+type Clock interface {
+	// Now returns the current time in nanoseconds (an arbitrary epoch;
+	// only differences are used, for RTT samples).
+	Now() int64
+	// Schedule arranges for fn to run after d. The returned timer's Stop
+	// cancels a fire that has not happened yet; a late fire racing Stop
+	// is tolerated by the caller (generation-checked), not prevented.
+	Schedule(d time.Duration, fn func()) Timer
+}
+
+// Timer is a cancellable pending callback.
+type Timer interface {
+	// Stop cancels the timer if it has not fired.
+	Stop()
+}
+
+// WallClock is the real-time Clock (time.Now / time.AfterFunc).
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() int64 { return time.Now().UnixNano() }
+
+// Schedule implements Clock.
+func (WallClock) Schedule(d time.Duration, fn func()) Timer {
+	return wallTimer{t: time.AfterFunc(d, fn)}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) Stop() { w.t.Stop() }
+
+// DESClock adapts a simulated world to Clock. Timers land on the
+// world's cancellable event API (World.Schedule / des.Timer.Stop), so a
+// stopped retransmit timer is skipped without advancing virtual time.
+type DESClock struct{ W *des.World }
+
+// Now implements Clock (virtual nanoseconds).
+func (c DESClock) Now() int64 { return int64(c.W.Now()) }
+
+// Schedule implements Clock.
+func (c DESClock) Schedule(d time.Duration, fn func()) Timer {
+	return c.W.Schedule(des.FromDuration(d), fn)
+}
+
+var (
+	_ Clock = WallClock{}
+	_ Clock = DESClock{}
+)

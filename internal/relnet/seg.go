@@ -1,0 +1,92 @@
+package relnet
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Wire format: every relnet datagram is one segment with a fixed
+// 38-byte header. DATA segments carry a slice of an engine frame (the
+// core packet wire encoding), addressed by (frameOff, frameLen) so the
+// receiver can reassemble MTU-sized fragments into the original frame;
+// ACK segments carry no payload. EVERY segment — data or ack — carries
+// the sender's current cumulative ack and selective-ack bitmap, which
+// is how acks piggyback on reverse-direction data.
+const (
+	segData = 1
+	segAck  = 2
+
+	// segFlagLast marks the final segment of a frame: reassembly
+	// completes (and the frame is delivered) when it lands in order.
+	segFlagLast = 1 << 0
+
+	segHdrLen = 1 + 1 + 4 + 8 + 8 + 8 + 4 + 4
+)
+
+// segHeader is the decoded form of a segment header.
+type segHeader struct {
+	kind     uint8
+	flags    uint8
+	payLen   uint32
+	seq      uint64 // 1-based; 0 on pure acks
+	cumAck   uint64 // every segment up to and including cumAck received
+	sack     uint64 // bit i: segment cumAck+1+i received out of order
+	frameOff uint32 // payload's offset within its frame
+	frameLen uint32 // total frame length
+}
+
+// encodeSeg writes h into b (len(b) >= segHdrLen).
+func encodeSeg(b []byte, h *segHeader) {
+	b[0] = h.kind
+	b[1] = h.flags
+	binary.LittleEndian.PutUint32(b[2:], h.payLen)
+	binary.LittleEndian.PutUint64(b[6:], h.seq)
+	binary.LittleEndian.PutUint64(b[14:], h.cumAck)
+	binary.LittleEndian.PutUint64(b[22:], h.sack)
+	binary.LittleEndian.PutUint32(b[30:], h.frameOff)
+	binary.LittleEndian.PutUint32(b[34:], h.frameLen)
+}
+
+// stampAck patches the ack fields of an already-encoded segment. The
+// sender keeps one master copy per segment for retransmission; each
+// (re)transmission carries the freshest receive state.
+func stampAck(b []byte, cumAck, sack uint64) {
+	binary.LittleEndian.PutUint64(b[14:], cumAck)
+	binary.LittleEndian.PutUint64(b[22:], sack)
+}
+
+var errBadSeg = errors.New("relnet: malformed segment")
+
+// decodeSeg parses one datagram. Anything malformed — truncated header,
+// unknown kind, payload length beyond the datagram — is an error; the
+// caller drops it like a lost packet (UDP sockets can surface stray or
+// truncated datagrams; a reliability layer treats garbage as loss).
+func decodeSeg(b []byte) (segHeader, error) {
+	var h segHeader
+	if len(b) < segHdrLen {
+		return h, errBadSeg
+	}
+	h.kind = b[0]
+	h.flags = b[1]
+	h.payLen = binary.LittleEndian.Uint32(b[2:])
+	h.seq = binary.LittleEndian.Uint64(b[6:])
+	h.cumAck = binary.LittleEndian.Uint64(b[14:])
+	h.sack = binary.LittleEndian.Uint64(b[22:])
+	h.frameOff = binary.LittleEndian.Uint32(b[30:])
+	h.frameLen = binary.LittleEndian.Uint32(b[34:])
+	if h.kind != segData && h.kind != segAck {
+		return h, errBadSeg
+	}
+	if int(h.payLen) > len(b)-segHdrLen {
+		return h, errBadSeg
+	}
+	if h.kind == segData {
+		if h.seq == 0 || h.frameLen == 0 {
+			return h, errBadSeg
+		}
+		if uint64(h.frameOff)+uint64(h.payLen) > uint64(h.frameLen) {
+			return h, errBadSeg
+		}
+	}
+	return h, nil
+}

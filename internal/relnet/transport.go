@@ -1,0 +1,150 @@
+package relnet
+
+import (
+	"sync"
+
+	"newmad/internal/core"
+)
+
+// Transport is the unreliable datagram service relnet builds on: it
+// moves bounded-size datagrams that may be dropped, duplicated or
+// reordered, and it never blocks delivery on the caller. Implementations
+// exist over in-process loopback (memdrv), simulated NICs (simdrv) and
+// real UDP sockets (udpdrv); the Flaky wrapper composes over any of them
+// to inject deterministic faults for tests.
+type Transport interface {
+	// Name identifies the transport instance.
+	Name() string
+	// Profile reports the link characteristics (used to derive default
+	// retransmission timeouts and exposed as the rail profile).
+	Profile() core.Profile
+	// MTU is the largest datagram Send accepts, in bytes.
+	MTU() int
+	// Send transmits one datagram. Ownership of the lease transfers with
+	// the call: the transport releases it once the bytes are on the wire
+	// (or on error). An error means the datagram was certainly not sent —
+	// the reliability layer treats it exactly like a loss.
+	Send(f *core.Buf) error
+	// SetRecv installs the delivery callback; ownership of each arriving
+	// datagram's lease transfers to the callback. Called once, before
+	// any traffic.
+	SetRecv(fn func(f *core.Buf))
+	// SetFail installs the transport-death callback (socket reader
+	// failure, simulated NIC taken down). Called once, before any
+	// traffic. A transport with no asynchronous failure mode may ignore
+	// it.
+	SetFail(fn func(err error))
+	// Close releases transport resources; delivery stops.
+	Close() error
+}
+
+// Flaky is a deterministic fault-injecting Transport decorator for
+// tests: it drops, duplicates, or reorders every Nth outgoing datagram.
+// Counting is per-Flaky and deterministic, so a seeded test observes the
+// same loss pattern on every run. The zero counters inject nothing.
+type Flaky struct {
+	tr Transport
+
+	mu        sync.Mutex
+	n         int
+	dropEvery int
+	dupEvery  int
+	swapEvery int
+	held      *core.Buf
+	dropped   uint64
+	dupped    uint64
+	swapped   uint64
+}
+
+// NewFlaky wraps tr.
+func NewFlaky(tr Transport) *Flaky { return &Flaky{tr: tr} }
+
+// SetDropEvery drops every nth outgoing datagram (n == 1 blackholes the
+// link; 0 disables).
+func (f *Flaky) SetDropEvery(n int) { f.mu.Lock(); f.dropEvery = n; f.mu.Unlock() }
+
+// SetDupEvery duplicates every nth outgoing datagram (0 disables).
+func (f *Flaky) SetDupEvery(n int) { f.mu.Lock(); f.dupEvery = n; f.mu.Unlock() }
+
+// SetSwapEvery holds every nth outgoing datagram back and releases it
+// after the next one, reordering adjacent datagrams (0 disables).
+func (f *Flaky) SetSwapEvery(n int) { f.mu.Lock(); f.swapEvery = n; f.mu.Unlock() }
+
+// Injected reports how many datagrams were dropped, duplicated and
+// swapped so far.
+func (f *Flaky) Injected() (dropped, dupped, swapped uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped, f.dupped, f.swapped
+}
+
+// Send implements Transport, applying the configured faults.
+func (f *Flaky) Send(b *core.Buf) error {
+	f.mu.Lock()
+	f.n++
+	n := f.n
+	if f.dropEvery > 0 && n%f.dropEvery == 0 {
+		f.dropped++
+		f.mu.Unlock()
+		b.Release()
+		return nil
+	}
+	var release *core.Buf
+	if f.held != nil {
+		release = f.held
+		f.held = nil
+	}
+	if f.swapEvery > 0 && n%f.swapEvery == 0 && release == nil {
+		f.held = b
+		f.swapped++
+		f.mu.Unlock()
+		return nil
+	}
+	dup := f.dupEvery > 0 && n%f.dupEvery == 0
+	if dup {
+		f.dupped++
+	}
+	f.mu.Unlock()
+
+	var clone *core.Buf
+	if dup {
+		clone = core.GetBuf(len(b.B))
+		copy(clone.B, b.B)
+	}
+	err := f.tr.Send(b)
+	if clone != nil {
+		_ = f.tr.Send(clone)
+	}
+	if release != nil {
+		_ = f.tr.Send(release)
+	}
+	return err
+}
+
+// Name implements Transport.
+func (f *Flaky) Name() string { return "flaky+" + f.tr.Name() }
+
+// Profile implements Transport.
+func (f *Flaky) Profile() core.Profile { return f.tr.Profile() }
+
+// MTU implements Transport.
+func (f *Flaky) MTU() int { return f.tr.MTU() }
+
+// SetRecv implements Transport.
+func (f *Flaky) SetRecv(fn func(*core.Buf)) { f.tr.SetRecv(fn) }
+
+// SetFail implements Transport.
+func (f *Flaky) SetFail(fn func(error)) { f.tr.SetFail(fn) }
+
+// Close implements Transport, releasing any held datagram.
+func (f *Flaky) Close() error {
+	f.mu.Lock()
+	if f.held != nil {
+		f.held.Release()
+		f.held = nil
+	}
+	f.mu.Unlock()
+	return f.tr.Close()
+}
+
+var _ Transport = (*Flaky)(nil)

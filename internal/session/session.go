@@ -1,9 +1,14 @@
 // Package session bootstraps real multi-rail connections between two
 // engine processes: one control TCP connection negotiates the session
-// (library version, peer names, rail addresses and profiles), then each
-// rail is dialed, authenticated with a preamble token, and attached to a
-// gate in a deterministic order. It replaces the hand-wiring of
-// listeners and dials that cmd/nmad-pingpong does manually.
+// (library version, peer names, rail addresses, protocols and
+// profiles), then each rail is dialed, authenticated with a preamble
+// token, and attached to a gate in a deterministic order. It replaces
+// the hand-wiring of listeners and dials that cmd/nmad-pingpong does
+// manually. Rails are TCP streams by default; a RailSpec with Proto
+// "udp" brings the rail up over datagram sockets under the relnet
+// reliability layer (see udp.go for the handshake), and a gate may mix
+// both kinds — heterogeneous rails are the point of the multi-rail
+// design.
 //
 // Each session gate is its own progress domain: traffic to different
 // peers on one engine proceeds in parallel, and the gate's TCP rails
@@ -25,13 +30,16 @@ import (
 
 	"newmad/internal/core"
 	"newmad/internal/drivers/tcpdrv"
+	"newmad/internal/drivers/udpdrv"
 	"newmad/internal/netx"
 )
 
 // Version is the wire protocol version; both ends must match. Bumped
 // to 2 when the engine gained the KRecvAbort control packet: a version-1
-// peer would fail a healthy rail on the unknown kind.
-const Version = 2
+// peer would fail a healthy rail on the unknown kind. Bumped to 3 when
+// rails gained a proto field: a version-2 peer would dial a udp rail's
+// address with TCP and hang on a connect nothing accepts.
+const Version = 3
 
 // DefaultHandshakeTimeout bounds a session handshake when Options leaves
 // HandshakeTimeout zero.
@@ -76,8 +84,14 @@ type RailSpec struct {
 	// Addr is the listen address for this rail ("host:port", port 0 for
 	// ephemeral).
 	Addr string
-	// Profile declares the rail characteristics (zero values get
-	// tcpdrv defaults).
+	// Proto selects the rail transport: "" or "tcp" is a stream rail
+	// (tcpdrv); "udp" is a datagram rail whose loss, ordering and
+	// retransmission are handled by the relnet reliability layer
+	// (udpdrv). A gate may mix both — the engine's strategies stripe
+	// across them like any other heterogeneous rail pair.
+	Proto string
+	// Profile declares the rail characteristics (zero values get the
+	// driver's defaults).
 	Profile core.Profile
 }
 
@@ -91,6 +105,7 @@ type hello struct {
 
 type railInfo struct {
 	Addr        string  `json:"addr"`
+	Proto       string  `json:"proto,omitempty"` // "" means tcp
 	Name        string  `json:"name"`
 	LatencyNS   int64   `json:"latency_ns"`
 	BandwidthBS float64 `json:"bandwidth_bytes_per_sec"`
@@ -109,12 +124,36 @@ type Server struct {
 	name  string
 	eng   *core.Engine
 	ctrl  net.Listener
-	rails []net.Listener
+	rails []railListener
 	specs []RailSpec
 	opts  Options
 
 	mu     sync.Mutex
 	closed bool
+	// acked registers completed UDP rail handshakes for re-acking dup
+	// preambles (see udp.go).
+	acked map[string]*udpAckRec
+}
+
+// railListener is one advertised rail endpoint: a TCP listener or a UDP
+// preamble socket, per the spec's proto.
+type railListener struct {
+	tcp net.Listener
+	udp *net.UDPConn
+}
+
+func (rl railListener) addr() string {
+	if rl.udp != nil {
+		return rl.udp.LocalAddr().String()
+	}
+	return rl.tcp.Addr().String()
+}
+
+func (rl railListener) close() error {
+	if rl.udp != nil {
+		return rl.udp.Close()
+	}
+	return rl.tcp.Close()
 }
 
 // Listen starts a server for the given engine: a control listener on
@@ -131,12 +170,25 @@ func Listen(ctx context.Context, eng *core.Engine, name, ctrlAddr string, rails 
 	}
 	s := &Server{name: name, eng: eng, ctrl: ctrl, specs: rails, opts: opts}
 	for i, spec := range rails {
-		l, err := lc.Listen(ctx, "tcp", spec.Addr)
-		if err != nil {
+		switch spec.Proto {
+		case "", "tcp":
+			l, err := lc.Listen(ctx, "tcp", spec.Addr)
+			if err != nil {
+				s.Close()
+				return nil, fmt.Errorf("session: rail %d listen %s: %w", i, spec.Addr, err)
+			}
+			s.rails = append(s.rails, railListener{tcp: l})
+		case "udp":
+			pc, err := lc.ListenPacket(ctx, "udp", spec.Addr)
+			if err != nil {
+				s.Close()
+				return nil, fmt.Errorf("session: rail %d listen %s: %w", i, spec.Addr, err)
+			}
+			s.rails = append(s.rails, railListener{udp: pc.(*net.UDPConn)})
+		default:
 			s.Close()
-			return nil, fmt.Errorf("session: rail %d listen %s: %w", i, spec.Addr, err)
+			return nil, fmt.Errorf("session: rail %d: unknown proto %q", i, spec.Proto)
 		}
-		s.rails = append(s.rails, l)
 	}
 	return s, nil
 }
@@ -177,7 +229,7 @@ func (s *Server) Accept(ctx context.Context) (*core.Gate, string, error) {
 	for i, spec := range s.specs {
 		prof := spec.Profile
 		srv.Rails = append(srv.Rails, railInfo{
-			Addr: s.rails[i].Addr().String(), Name: prof.Name,
+			Addr: s.rails[i].addr(), Proto: spec.Proto, Name: prof.Name,
 			LatencyNS: prof.Latency.Nanoseconds(), BandwidthBS: prof.Bandwidth,
 			EagerMax: prof.EagerMax, PIOMax: prof.PIOMax,
 		})
@@ -189,17 +241,26 @@ func (s *Server) Accept(ctx context.Context) (*core.Gate, string, error) {
 	// the engine: a mid-handshake failure or ctx cancellation must not
 	// leave a half-railed gate registered (the engine has no gate
 	// removal), so the gate is created only once the whole handshake has
-	// succeeded and every failure path closes the accumulated conns.
-	conns := make([]net.Conn, 0, len(s.specs))
-	closeConns := func() {
-		for _, c := range conns {
-			c.Close()
+	// succeeded and every failure path closes the accumulated endpoints.
+	eps := make([]railEndpoint, 0, len(s.specs))
+	closeEps := func() {
+		for _, e := range eps {
+			e.close()
 		}
 	}
-	for i := range s.specs {
-		rc, err := acceptConn(ctx, s.rails[i], hsDeadline)
+	for i, spec := range s.specs {
+		if spec.Proto == "udp" {
+			s1, client, err := s.acceptUDPRail(ctx, i, token, hsDeadline)
+			if err != nil {
+				closeEps()
+				return nil, "", fmt.Errorf("session: rail %d udp handshake: %w", i, err)
+			}
+			eps = append(eps, railEndpoint{udp: s1, udpPeer: client})
+			continue
+		}
+		rc, err := acceptConn(ctx, s.rails[i].tcp, hsDeadline)
 		if err != nil {
-			closeConns()
+			closeEps()
 			return nil, "", fmt.Errorf("session: accept rail %d: %w", i, err)
 		}
 		rc.SetDeadline(hsDeadline)
@@ -212,13 +273,13 @@ func (s *Server) Accept(ctx context.Context) (*core.Gate, string, error) {
 		if err := readJSONUnbuffered(rc, &pre); err != nil {
 			railStop()
 			rc.Close()
-			closeConns()
+			closeEps()
 			return nil, "", fmt.Errorf("session: rail %d preamble: %w", i, ctxErrOr(ctx, err))
 		}
 		if pre.Token != token || pre.Rail != i {
 			railStop()
 			rc.Close()
-			closeConns()
+			closeEps()
 			return nil, "", fmt.Errorf("session: rail %d bad preamble (rail %d)", i, pre.Rail)
 		}
 		// A false return means ctx was cancelled and its deadline poke is
@@ -227,17 +288,43 @@ func (s *Server) Accept(ctx context.Context) (*core.Gate, string, error) {
 		// anyway — abort with ctx's error.
 		if !railStop() {
 			rc.Close()
-			closeConns()
+			closeEps()
 			return nil, "", fmt.Errorf("session: rail %d: %w", i, ctx.Err())
 		}
 		rc.SetDeadline(time.Time{})
-		conns = append(conns, rc)
+		eps = append(eps, railEndpoint{tcp: rc})
 	}
 	gate := s.eng.NewGate(cli.Name)
-	for i, rc := range conns {
-		gate.AddRail(tcpdrv.New(rc, tcpdrv.Options{Profile: s.specs[i].Profile}))
+	for i, ep := range eps {
+		gate.AddRail(ep.driver(s.specs[i].Profile))
 	}
 	return gate, cli.Name, nil
+}
+
+// railEndpoint is one authenticated rail connection awaiting gate
+// attachment: a TCP stream, or a UDP socket aimed at a fixed peer.
+type railEndpoint struct {
+	tcp     net.Conn
+	udp     *net.UDPConn
+	udpPeer *net.UDPAddr
+}
+
+func (e railEndpoint) close() {
+	if e.udp != nil {
+		e.udp.Close()
+		return
+	}
+	e.tcp.Close()
+}
+
+// driver builds the endpoint's rail driver. A UDP endpoint comes up
+// under the relnet reliability layer (udpdrv.New wraps and starts it);
+// zero relnet knobs derive from the rail profile, on a wall clock.
+func (e railEndpoint) driver(prof core.Profile) core.Driver {
+	if e.udp != nil {
+		return udpdrv.New(e.udp, e.udpPeer, udpdrv.Options{Profile: prof})
+	}
+	return tcpdrv.New(e.tcp, tcpdrv.Options{Profile: prof})
 }
 
 // Close shuts every listener down.
@@ -250,7 +337,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	err := s.ctrl.Close()
 	for _, l := range s.rails {
-		if e := l.Close(); err == nil {
+		if e := l.close(); err == nil {
 			err = e
 		}
 	}
@@ -289,16 +376,30 @@ func Connect(ctx context.Context, eng *core.Engine, name, ctrlAddr string, opts 
 	// As in Accept: dial and authenticate every rail before creating the
 	// gate, so a failure mid-bring-up leaks neither conns nor a
 	// half-railed engine gate.
-	conns := make([]net.Conn, 0, len(srv.Rails))
-	closeConns := func() {
-		for _, c := range conns {
-			c.Close()
+	eps := make([]railEndpoint, 0, len(srv.Rails))
+	closeEps := func() {
+		for _, e := range eps {
+			e.close()
 		}
 	}
 	for i, ri := range srv.Rails {
+		switch ri.Proto {
+		case "", "tcp":
+		case "udp":
+			uc, peer, err := dialUDPRail(ctx, ri.Addr, srv.Token, i, hsDeadline)
+			if err != nil {
+				closeEps()
+				return nil, "", fmt.Errorf("session: rail %d udp handshake %s: %w", i, ri.Addr, err)
+			}
+			eps = append(eps, railEndpoint{udp: uc, udpPeer: peer})
+			continue
+		default:
+			closeEps()
+			return nil, "", fmt.Errorf("session: rail %d: unknown proto %q", i, ri.Proto)
+		}
 		rc, err := dialer.DialContext(ctx, "tcp", ri.Addr)
 		if err != nil {
-			closeConns()
+			closeEps()
 			return nil, "", fmt.Errorf("session: dial rail %d %s: %w", i, ri.Addr, ctxErrOr(ctx, err))
 		}
 		rc.SetDeadline(hsDeadline)
@@ -306,27 +407,27 @@ func Connect(ctx context.Context, eng *core.Engine, name, ctrlAddr string, opts 
 		if err := writeJSON(rc, preamble{Token: srv.Token, Rail: i}); err != nil {
 			railStop()
 			rc.Close()
-			closeConns()
+			closeEps()
 			return nil, "", fmt.Errorf("session: rail %d preamble: %w", i, ctxErrOr(ctx, err))
 		}
 		// As in Accept: a false return means the cancel poke is in
 		// flight and could poison the cleared deadline under the driver.
 		if !railStop() {
 			rc.Close()
-			closeConns()
+			closeEps()
 			return nil, "", fmt.Errorf("session: rail %d: %w", i, ctx.Err())
 		}
 		rc.SetDeadline(time.Time{})
-		conns = append(conns, rc)
+		eps = append(eps, railEndpoint{tcp: rc})
 	}
 	gate := eng.NewGate(srv.Name)
-	for i, rc := range conns {
+	for i, ep := range eps {
 		ri := srv.Rails[i]
 		prof := core.Profile{
 			Name: ri.Name, Latency: time.Duration(ri.LatencyNS), Bandwidth: ri.BandwidthBS,
 			EagerMax: ri.EagerMax, PIOMax: ri.PIOMax,
 		}
-		gate.AddRail(tcpdrv.New(rc, tcpdrv.Options{Profile: prof}))
+		gate.AddRail(ep.driver(prof))
 	}
 	return gate, srv.Name, nil
 }

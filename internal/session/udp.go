@@ -1,0 +1,188 @@
+// UDP rail bring-up. A udp RailSpec advertises one datagram socket (S0)
+// whose only job is to receive rail preambles; the data path never
+// touches it. The handshake:
+//
+//	client                          server
+//	  |-- preamble {token,rail} ----> S0        (retried until acked)
+//	  |                               opens fresh data socket S1
+//	  |<---- preamble echo ×3 ------- S1        (source addr = S1)
+//	  |
+//	  aim rail at S1                  aim rail at client addr
+//
+// The ack is the preamble echoed back, sent from S1 so its source
+// address tells the client where to aim the rail — no address field to
+// spoof-redirect, and the random session token authenticates it exactly
+// as it authenticates TCP rail preambles. There is no confirm leg: the
+// client retries the preamble because both legs are plain datagrams and
+// the client is the only end that can drive recovery (the server cannot
+// observe whether its ack burst landed). A dup preamble for an
+// already-completed rail is re-acked from that rail's data socket, so a
+// client whose entire ack burst was lost converges on retry; total ack
+// loss during one handshake is bounded by the handshake deadline and
+// fails loudly, never hangs.
+//
+// Stray datagrams are harmless on both ends: S0 skips anything that
+// does not authenticate (an open UDP port receives garbage and retries
+// from dead handshakes, and none of them may abort a live negotiation),
+// and ack-burst duplicates arriving after the driver owns the client
+// socket are dropped by relnet's frame decoder — a JSON '{' is not a
+// valid segment kind.
+package session
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// udpAckBurst is how many copies of the preamble echo the server sends:
+// plain redundancy for the one handshake leg only the server can send.
+const udpAckBurst = 3
+
+// udpRetryInterval paces the client's preamble retries.
+const udpRetryInterval = 250 * time.Millisecond
+
+// udpAckRec remembers a completed UDP rail handshake so dup preambles
+// (a client retrying because the ack burst was lost) can be re-acked
+// from the rail's data socket. Writes race the driver's reads on that
+// socket, which net.UDPConn permits.
+type udpAckRec struct {
+	s1 *net.UDPConn
+}
+
+// acceptUDPRail waits on rail i's advertised socket for a preamble
+// carrying token, opens a fresh data socket, acks the preamble from it,
+// and returns the socket plus the client's address.
+func (s *Server) acceptUDPRail(ctx context.Context, i int, token string, deadline time.Time) (*net.UDPConn, *net.UDPAddr, error) {
+	s0 := s.rails[i].udp
+	s0.SetReadDeadline(deadline)
+	stop := guardCtx(ctx, s0)
+	defer stop()
+	buf := make([]byte, 2048)
+	for {
+		n, src, err := s0.ReadFromUDP(buf)
+		if err != nil {
+			return nil, nil, ctxErrOr(ctx, err)
+		}
+		var pre preamble
+		if json.Unmarshal(buf[:n], &pre) != nil {
+			continue
+		}
+		if rec := s.ackedRail(pre); rec != nil {
+			_ = sendUDPAck(rec.s1, src, pre)
+			continue
+		}
+		if pre.Token != token || pre.Rail != i {
+			continue
+		}
+		la := s0.LocalAddr().(*net.UDPAddr)
+		s1, err := net.ListenUDP("udp", &net.UDPAddr{IP: la.IP})
+		if err != nil {
+			return nil, nil, fmt.Errorf("data socket: %w", err)
+		}
+		if err := sendUDPAck(s1, src, pre); err != nil {
+			s1.Close()
+			return nil, nil, fmt.Errorf("ack: %w", err)
+		}
+		s.recordAcked(pre, s1)
+		// As with TCP rails: a false return means the cancel poke is in
+		// flight and the handshake is void.
+		if !stop() {
+			s1.Close()
+			return nil, nil, ctx.Err()
+		}
+		s0.SetReadDeadline(time.Time{})
+		return s1, src, nil
+	}
+}
+
+// dialUDPRail brings one client-side UDP rail up against the server's
+// advertised address, returning the local socket and the server's data
+// socket address (learned from the ack's source).
+func dialUDPRail(ctx context.Context, addr, token string, rail int, deadline time.Time) (*net.UDPConn, *net.UDPAddr, error) {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := net.ListenUDP("udp", nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	pre, err := jsonMarshal(preamble{Token: token, Rail: rail})
+	if err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	buf := make([]byte, 2048)
+	for {
+		if err := ctx.Err(); err != nil {
+			c.Close()
+			return nil, nil, err
+		}
+		if !time.Now().Before(deadline) {
+			c.Close()
+			return nil, nil, fmt.Errorf("no ack within handshake deadline")
+		}
+		if _, err := c.WriteToUDP(pre, raddr); err != nil {
+			c.Close()
+			return nil, nil, err
+		}
+		try := time.Now().Add(udpRetryInterval)
+		if try.After(deadline) {
+			try = deadline
+		}
+		c.SetReadDeadline(try)
+		n, src, err := c.ReadFromUDP(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue // retry the preamble
+			}
+			c.Close()
+			return nil, nil, ctxErrOr(ctx, err)
+		}
+		var ack preamble
+		if json.Unmarshal(buf[:n], &ack) != nil || ack.Token != token || ack.Rail != rail {
+			continue // stray datagram; not our ack
+		}
+		c.SetReadDeadline(time.Time{})
+		return c, src, nil
+	}
+}
+
+// sendUDPAck echoes the preamble back to the client from the data
+// socket, udpAckBurst times.
+func sendUDPAck(s1 *net.UDPConn, client *net.UDPAddr, pre preamble) error {
+	data, err := jsonMarshal(pre)
+	if err != nil {
+		return err
+	}
+	for k := 0; k < udpAckBurst; k++ {
+		if _, err := s1.WriteToUDP(data, client); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ackedRail looks a preamble up in the completed-rail registry.
+func (s *Server) ackedRail(pre preamble) *udpAckRec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acked[ackKey(pre)]
+}
+
+// recordAcked registers a completed UDP rail handshake for re-acking.
+func (s *Server) recordAcked(pre preamble, s1 *net.UDPConn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.acked == nil {
+		s.acked = make(map[string]*udpAckRec)
+	}
+	s.acked[ackKey(pre)] = &udpAckRec{s1: s1}
+}
+
+func ackKey(pre preamble) string {
+	return fmt.Sprintf("%s/%d", pre.Token, pre.Rail)
+}

@@ -1,0 +1,248 @@
+package session
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"newmad/internal/core"
+)
+
+// mixedRails offers a TCP rail and a UDP rail — the heterogeneous pair
+// the split strategies are built for.
+func mixedRails() []RailSpec {
+	return []RailSpec{
+		{Addr: "127.0.0.1:0", Profile: core.Profile{Name: "tcp-fast", Bandwidth: 800e6, EagerMax: 32 << 10, Latency: 20 * time.Microsecond}},
+		{Addr: "127.0.0.1:0", Proto: "udp", Profile: core.Profile{Name: "udp-lossy", Bandwidth: 400e6, EagerMax: 32 << 10, PIOMax: 8 << 10, Latency: 40 * time.Microsecond}},
+	}
+}
+
+// bringUp establishes one session over the given rails and returns both
+// gates (server side first).
+func bringUp(t *testing.T, engA, engB *core.Engine, rails []RailSpec) (*core.Gate, *core.Gate) {
+	t.Helper()
+	srv, err := Listen(context.Background(), engA, "alpha", "127.0.0.1:0", rails, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	type acceptResult struct {
+		gate *core.Gate
+		err  error
+	}
+	accepted := make(chan acceptResult, 1)
+	go func() {
+		g, _, err := srv.Accept(context.Background())
+		accepted <- acceptResult{g, err}
+	}()
+	gateBA, _, err := Connect(context.Background(), engB, "beta", srv.ControlAddr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-accepted
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	return res.gate, gateBA
+}
+
+// exchange moves msg from the sender gate to the receiver gate and
+// byte-verifies it.
+func exchange(t *testing.T, sendEng, recvEng *core.Engine, sendGate, recvGate *core.Gate, tag uint32, msg []byte) {
+	t.Helper()
+	recv := make([]byte, len(msg))
+	done := make(chan error, 1)
+	go func() {
+		rr := recvGate.Irecv(tag, recv)
+		done <- recvEng.Wait(rr)
+	}()
+	sr := sendGate.Isend(tag, msg)
+	if err := sendEng.Wait(sr); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recv, msg) {
+		t.Fatal("payload corrupted in transit")
+	}
+}
+
+// TestSessionHeterogeneousSplit is the acceptance transfer: a session
+// over one TCP rail and one UDP rail moves a striped megabyte each way,
+// byte-verified, with both rails carrying chunks.
+func TestSessionHeterogeneousSplit(t *testing.T) {
+	engA, engB := engines(t)
+	gateAB, gateBA := bringUp(t, engA, engB, mixedRails())
+	if len(gateAB.Rails()) != 2 || len(gateBA.Rails()) != 2 {
+		t.Fatalf("rails: %d / %d", len(gateAB.Rails()), len(gateBA.Rails()))
+	}
+	// The udp rail's profile crossed the control channel.
+	if got := gateBA.Rails()[1].Profile().Name; got != "udp-lossy" {
+		t.Fatalf("udp rail profile: %q", got)
+	}
+	msg := make([]byte, 1<<20)
+	for i := range msg {
+		msg[i] = byte(i * 131)
+	}
+	exchange(t, engA, engB, gateAB, gateBA, 1, msg)
+	exchange(t, engB, engA, gateBA, gateAB, 2, msg)
+	// Split strategy, 1 MB body: both the stream rail and the datagram
+	// rail must have carried data.
+	for _, g := range []*core.Gate{gateAB, gateBA} {
+		p0, _ := g.Rails()[0].Stats()
+		p1, _ := g.Rails()[1].Stats()
+		if p0 == 0 || p1 == 0 {
+			t.Fatalf("stripping unused a rail: tcp=%d udp=%d", p0, p1)
+		}
+	}
+}
+
+// TestSessionUDPOnly brings a session up over a single UDP rail: the
+// whole data path rides relnet over real datagram sockets.
+func TestSessionUDPOnly(t *testing.T) {
+	engA, engB := engines(t)
+	rails := []RailSpec{{Addr: "127.0.0.1:0", Proto: "udp"}}
+	gateAB, gateBA := bringUp(t, engA, engB, rails)
+	msg := make([]byte, 256<<10)
+	for i := range msg {
+		msg[i] = byte(i * 17)
+	}
+	exchange(t, engA, engB, gateAB, gateBA, 3, msg)
+}
+
+// TestSessionUDPStraysSkipped floods the advertised preamble socket
+// with garbage and wrong-token datagrams while a real handshake runs:
+// an open UDP port receives strays, and none of them may abort a live
+// negotiation.
+func TestSessionUDPStraysSkipped(t *testing.T) {
+	engA, engB := engines(t)
+	rails := []RailSpec{{Addr: "127.0.0.1:0", Proto: "udp"}}
+	srv, err := Listen(context.Background(), engA, "alpha", "127.0.0.1:0", rails, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Pre-load the preamble socket's buffer with strays before any
+	// client shows up.
+	stray, err := net.Dial("udp", srv.rails[0].udp.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stray.Close()
+	stray.Write([]byte("not even json"))
+	bad, _ := jsonMarshal(preamble{Token: "forged", Rail: 0})
+	stray.Write(bad)
+	wrongRail, _ := jsonMarshal(preamble{Token: "forged", Rail: 7})
+	stray.Write(wrongRail)
+
+	accepted := make(chan error, 1)
+	go func() {
+		_, _, err := srv.Accept(context.Background())
+		accepted <- err
+	}()
+	if _, _, err := Connect(context.Background(), engB, "beta", srv.ControlAddr(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-accepted; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionUDPDupPreambleReacked pins the lost-ack recovery path: a
+// client whose rail completed in an earlier session retries its
+// preamble (it never saw the ack burst), and the server — mid-handshake
+// with a NEW client on the same rail socket — re-acks the dup from the
+// completed rail's data socket instead of aborting or ignoring it.
+func TestSessionUDPDupPreambleReacked(t *testing.T) {
+	engA, engB := engines(t)
+	rails := []RailSpec{{Addr: "127.0.0.1:0", Proto: "udp"}}
+	srv, err := Listen(context.Background(), engA, "alpha", "127.0.0.1:0", rails, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Session 1, manual client: control hello, then the rail preamble.
+	go func() { srv.Accept(context.Background()) }()
+	conn, err := net.Dial("tcp", srv.ControlAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeJSON(conn, hello{Version: Version, Name: "one"}); err != nil {
+		t.Fatal(err)
+	}
+	var srvHello hello
+	if err := readJSONConn(conn, &srvHello); err != nil {
+		t.Fatal(err)
+	}
+	oldSock, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oldSock.Close()
+	s0, err := net.ResolveUDPAddr("udp", srvHello.Rails[0].Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldPre, _ := jsonMarshal(preamble{Token: srvHello.Token, Rail: 0})
+	if _, err := oldSock.WriteToUDP(oldPre, s0); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the first ack burst so the next read sees only the re-ack.
+	readAck := func() preamble {
+		t.Helper()
+		buf := make([]byte, 2048)
+		oldSock.SetReadDeadline(time.Now().Add(5 * time.Second))
+		n, _, err := oldSock.ReadFromUDP(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ack preamble
+		if err := json.Unmarshal(buf[:n], &ack); err != nil {
+			t.Fatal(err)
+		}
+		return ack
+	}
+	for i := 0; i < udpAckBurst; i++ {
+		if ack := readAck(); ack.Token != srvHello.Token {
+			t.Fatalf("ack %d carries wrong token", i)
+		}
+	}
+
+	// Session 2 from a real client; while its handshake holds the rail
+	// socket, the old client retries its (already-completed) preamble.
+	accepted := make(chan error, 1)
+	go func() {
+		_, _, err := srv.Accept(context.Background())
+		accepted <- err
+	}()
+	// The retry may land before Accept 2 starts reading the rail socket;
+	// it queues in the socket buffer and is handled once the new
+	// handshake reaches the rail stage.
+	if _, err := oldSock.WriteToUDP(oldPre, s0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Connect(context.Background(), engB, "beta", srv.ControlAddr(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-accepted; err != nil {
+		t.Fatal(err)
+	}
+	if ack := readAck(); ack.Token != srvHello.Token || ack.Rail != 0 {
+		t.Fatalf("re-ack mismatch: %+v", ack)
+	}
+}
+
+// TestListenRejectsUnknownProto pins the spec validation.
+func TestListenRejectsUnknownProto(t *testing.T) {
+	engA, _ := engines(t)
+	rails := []RailSpec{{Addr: "127.0.0.1:0", Proto: "sctp"}}
+	if _, err := Listen(context.Background(), engA, "a", "127.0.0.1:0", rails, Options{}); err == nil {
+		t.Fatal("unknown proto accepted")
+	}
+}

@@ -41,7 +41,9 @@ import (
 	"newmad/internal/core"
 	"newmad/internal/des"
 	"newmad/internal/drivers/tcpdrv"
+	"newmad/internal/drivers/udpdrv"
 	"newmad/internal/mpl"
+	"newmad/internal/relnet"
 	"newmad/internal/sampling"
 	"newmad/internal/session"
 	"newmad/internal/simnet"
@@ -157,6 +159,9 @@ type (
 	World = des.World
 	// Proc is a simulated process.
 	Proc = des.Proc
+	// SimTime is a virtual-time instant (World.Now, Proc.Now); its
+	// Duration method converts to wall units.
+	SimTime = des.Time
 )
 
 // Myri10G returns the paper's Myri-10G/MX NIC model (~2.8 us, ~1200 MB/s).
@@ -298,9 +303,11 @@ func WithSimTimeout(ctx context.Context, p *Proc, d time.Duration) context.Conte
 	return bench.WithSimTimeout(ctx, p, d)
 }
 
-// Sessions: negotiated multi-rail TCP bring-up between two processes.
+// Sessions: negotiated multi-rail bring-up between two processes.
 
-// RailSpec declares one rail a session server offers.
+// RailSpec declares one rail a session server offers: a TCP stream by
+// default, or — with Proto "udp" — a datagram rail under the relnet
+// reliability layer. One session may mix both.
 type RailSpec = session.RailSpec
 
 // SessionServer accepts negotiated multi-rail sessions.
@@ -346,6 +353,35 @@ func AcceptTCP(l net.Listener, opts TCPOptions) (Driver, error) { return tcpdrv.
 // the listener deadline so the blocked accept fails promptly.
 func AcceptTCPCtx(ctx context.Context, l net.Listener, opts TCPOptions) (Driver, error) {
 	return tcpdrv.AcceptCtx(ctx, l, opts)
+}
+
+// Reliability layer (ack/retransmit) and UDP rails.
+
+// RelConfig tunes the relnet reliability layer: RTO and backoff cap,
+// retry budget, window size, clock. The zero value derives everything
+// from the rail profile (SimClusterConfig.Rel, UDPOptions.Rel).
+type RelConfig = relnet.Config
+
+// RelStats are the reliability layer's protocol counters: segments and
+// acks each way, retransmissions (timeout and fast), duplicates and
+// garbage dropped. SimCluster.RelStats sums them across reliable rails.
+type RelStats = relnet.Stats
+
+// ReliableDriver is a relnet-wrapped rail driver; Stats exposes its
+// protocol counters.
+type ReliableDriver = relnet.Driver
+
+// UDPOptions configures a UDP rail (profile, MTU, reliability knobs).
+type UDPOptions = udpdrv.Options
+
+// NewUDP builds a reliable UDP rail driver over conn: datagram framing,
+// pooled reads and peer filtering from udpdrv; sequencing, acks and
+// retransmission from relnet. A non-nil peer treats the socket as
+// unconnected and aims every datagram at that address; a nil peer
+// requires a connected socket (net.DialUDP). Most callers want session
+// rails with Proto "udp" instead — the handshake lands on this.
+func NewUDP(conn *net.UDPConn, peer *net.UDPAddr, opts UDPOptions) *ReliableDriver {
+	return udpdrv.New(conn, peer, opts)
 }
 
 // Tracing.
