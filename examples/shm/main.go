@@ -1,0 +1,257 @@
+// Shm: the shared-memory rail three ways.
+//
+// First an in-process pair — two engines, two mappings of one
+// anonymous segment — measures pingpong half-RTT on the inline path
+// and bandwidth on the zero-copy rendezvous path. Then the real thing:
+// the process re-executes itself as a child, the two processes agree
+// only on a segment name, and the same pingpong crosses a true process
+// boundary through /dev/shm. Finally a negotiated session brings up a
+// heterogeneous tcp+udp+shm gate and stripes megabytes across all
+// three transports at once, the engine's split strategy apportioning
+// chunks by declared bandwidth.
+//
+// Linux-only: on platforms without /dev/shm the demo prints why and
+// exits cleanly.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+
+	"newmad"
+)
+
+const (
+	pingTag   = 1
+	echoTag   = 2
+	pingSize  = 64
+	bulkSize  = 4 << 20
+	pingIters = 2000
+)
+
+// duo wires one driver pair into two single-rail engines.
+type duo struct {
+	engA, engB     *newmad.Engine
+	gateAB, gateBA *newmad.Gate
+}
+
+func newDuo(a, b newmad.Driver) *duo {
+	d := &duo{
+		engA: newmad.New(newmad.Config{Strategy: newmad.StrategyFIFO()}),
+		engB: newmad.New(newmad.Config{Strategy: newmad.StrategyFIFO()}),
+	}
+	d.gateAB = d.engA.NewGate("B")
+	d.gateBA = d.engB.NewGate("A")
+	d.gateAB.AddRail(a)
+	d.gateBA.AddRail(b)
+	return d
+}
+
+func (d *duo) close() {
+	d.engA.Close()
+	d.engB.Close()
+}
+
+// pingpong drives iters round trips of size bytes from the A side,
+// echoing on a goroutine, and returns the mean half-RTT.
+func (d *duo) pingpong(size, iters int) (time.Duration, error) {
+	msg := bytes.Repeat([]byte{0xA5}, size)
+	back := make([]byte, size)
+	go echoLoop(d.engB, d.gateBA, size, iters)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := d.engA.Wait(d.gateAB.Isend(pingTag, msg)); err != nil {
+			return 0, err
+		}
+		if err := d.engA.Wait(d.gateAB.Irecv(echoTag, back)); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	if !bytes.Equal(back, msg) {
+		return 0, fmt.Errorf("payload corrupted")
+	}
+	return elapsed / time.Duration(2*iters), nil
+}
+
+// echoLoop receives iters pings of size bytes and sends each one back.
+func echoLoop(eng *newmad.Engine, gate *newmad.Gate, size, iters int) {
+	buf := make([]byte, size)
+	for i := 0; i < iters; i++ {
+		if eng.Wait(gate.Irecv(pingTag, buf)) != nil {
+			return
+		}
+		if eng.Wait(gate.Isend(echoTag, buf)) != nil {
+			return
+		}
+	}
+}
+
+// inProcess runs the pair demo: latency on the inline path, bandwidth
+// through the rendezvous arena.
+func inProcess() error {
+	a, b, err := newmad.NewShmPair(newmad.ShmOptions{})
+	if err != nil {
+		return err
+	}
+	d := newDuo(a, b)
+	defer d.close()
+	half, err := d.pingpong(pingSize, pingIters)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("in-process pair:    %4d B pingpong      half-RTT %8v\n", pingSize, half)
+	start := time.Now()
+	n := 8
+	go echoLoop(d.engB, d.gateBA, bulkSize, n)
+	msg := bytes.Repeat([]byte{0x3C}, bulkSize)
+	back := make([]byte, bulkSize)
+	for i := 0; i < n; i++ {
+		if err := d.engA.Wait(d.gateAB.Isend(pingTag, msg)); err != nil {
+			return err
+		}
+		if err := d.engA.Wait(d.gateAB.Irecv(echoTag, back)); err != nil {
+			return err
+		}
+	}
+	mbps := float64(2*n*bulkSize) / time.Since(start).Seconds() / 1e6
+	fmt.Printf("in-process pair:    %4d MiB rendezvous  %8.0f MB/s\n", bulkSize>>20, mbps)
+	return nil
+}
+
+// childMain is the spawned half of the two-process demo: attach to the
+// named segment and echo until the parent is done.
+func childMain(segName string) {
+	drv, err := newmad.NewShm(segName, newmad.ShmOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child:", err)
+		os.Exit(1)
+	}
+	eng := newmad.New(newmad.Config{Strategy: newmad.StrategyFIFO()})
+	defer eng.Close()
+	gate := eng.NewGate("parent")
+	gate.AddRail(drv)
+	echoLoop(eng, gate, pingSize, pingIters)
+}
+
+// twoProcess re-executes this binary as a child that shares only a
+// segment name, then runs the pingpong across the process boundary.
+func twoProcess() error {
+	segName := newmad.ShmSegmentName()
+	cmd := exec.Command(os.Args[0], "-child", segName)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer cmd.Wait()
+	// Both processes call the symmetric constructor on the agreed name;
+	// whoever arrives first creates, the other attaches.
+	drv, err := newmad.NewShm(segName, newmad.ShmOptions{})
+	if err != nil {
+		return err
+	}
+	eng := newmad.New(newmad.Config{Strategy: newmad.StrategyFIFO()})
+	defer eng.Close()
+	gate := eng.NewGate("child")
+	gate.AddRail(drv)
+	msg := bytes.Repeat([]byte{0x7B}, pingSize)
+	back := make([]byte, pingSize)
+	start := time.Now()
+	for i := 0; i < pingIters; i++ {
+		if err := eng.Wait(gate.Isend(pingTag, msg)); err != nil {
+			return err
+		}
+		if err := eng.Wait(gate.Irecv(echoTag, back)); err != nil {
+			return err
+		}
+	}
+	half := time.Since(start) / time.Duration(2*pingIters)
+	if !bytes.Equal(back, msg) {
+		return fmt.Errorf("payload corrupted across processes")
+	}
+	fmt.Printf("two processes:      %4d B pingpong      half-RTT %8v\n", pingSize, half)
+	return nil
+}
+
+// session brings up a negotiated tcp+udp+shm gate and stripes one
+// transfer across all three rails.
+func session() error {
+	rails := []newmad.RailSpec{
+		{Addr: "127.0.0.1:0", Profile: newmad.Profile{Name: "tcp", Bandwidth: 800e6, EagerMax: 32 << 10, Latency: 20 * time.Microsecond}},
+		{Addr: "127.0.0.1:0", Proto: "udp", Profile: newmad.Profile{Name: "udp", Bandwidth: 400e6, EagerMax: 32 << 10, PIOMax: 8 << 10, Latency: 40 * time.Microsecond}},
+		{Proto: "shm", Profile: newmad.Profile{Name: "shm", Bandwidth: 2e9, EagerMax: 32 << 10, PIOMax: 4 << 10, Latency: time.Microsecond}},
+	}
+	engA := newmad.New(newmad.Config{Strategy: newmad.StrategySplit()})
+	defer engA.Close()
+	engB := newmad.New(newmad.Config{Strategy: newmad.StrategySplit()})
+	defer engB.Close()
+	srv, err := newmad.ListenSession(context.Background(), engA, "alpha", "127.0.0.1:0", rails, newmad.SessionOptions{})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	type acceptRes struct {
+		gate *newmad.Gate
+		err  error
+	}
+	accepted := make(chan acceptRes, 1)
+	go func() {
+		g, _, err := srv.Accept(context.Background())
+		accepted <- acceptRes{g, err}
+	}()
+	gateBA, _, err := newmad.ConnectSession(context.Background(), engB, "beta", srv.ControlAddr(), newmad.SessionOptions{})
+	if err != nil {
+		return err
+	}
+	res := <-accepted
+	if res.err != nil {
+		return res.err
+	}
+	gateAB := res.gate
+
+	msg := make([]byte, bulkSize)
+	for i := range msg {
+		msg[i] = byte(i * 131)
+	}
+	back := make([]byte, bulkSize)
+	done := make(chan error, 1)
+	go func() {
+		done <- engB.Wait(gateBA.Irecv(pingTag, back))
+	}()
+	if err := engA.Wait(gateAB.Isend(pingTag, msg)); err != nil {
+		return err
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	if !bytes.Equal(back, msg) {
+		return fmt.Errorf("striped payload corrupted")
+	}
+	fmt.Printf("session, 3 rails:   %4d MiB striped, per-rail share:\n", bulkSize>>20)
+	for _, r := range gateAB.Rails() {
+		pkts, bs := r.Stats()
+		fmt.Printf("  %-4s %4d packets %9d bytes\n", r.Profile().Name, pkts, bs)
+	}
+	return nil
+}
+
+func main() {
+	if len(os.Args) == 3 && os.Args[1] == "-child" {
+		childMain(os.Args[2])
+		return
+	}
+	if !newmad.ShmSupported() {
+		fmt.Println("shared-memory rails need Linux with a usable /dev/shm; nothing to demo here")
+		return
+	}
+	for _, step := range []func() error{inProcess, twoProcess, session} {
+		if err := step(); err != nil {
+			fmt.Fprintln(os.Stderr, "shm demo:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -31,8 +31,10 @@ import (
 //     nonzero.
 
 // PerfSchema identifies the report layout. /2 added the loss_recovery
-// family (reliable-rail split transfers under per-packet loss).
-const PerfSchema = "newmad-perf/2"
+// family (reliable-rail split transfers under per-packet loss). /3
+// added the shm_latency family (shared-memory rail pingpong and
+// bandwidth against a TCP-loopback rail on the same host).
+const PerfSchema = "newmad-perf/3"
 
 // LatencyPoint is one DES pingpong measurement.
 type LatencyPoint struct {
@@ -85,6 +87,8 @@ type PerfReport struct {
 	AllreduceMakespan []MakespanPoint     `json:"allreduce_makespan"`
 	LossRecovery      []LossRecoveryPoint `json:"loss_recovery"`
 	// Wall-clock figures: machine-dependent, informational only.
+	// shm_latency is empty on platforms without /dev/shm.
+	ShmLatency          []ShmLatencyPoint `json:"shm_latency,omitempty"`
 	MultiGateThroughput []ThroughputPoint `json:"multigate_throughput"`
 	// Allocation figures: deterministic, budgeted.
 	AllocsPerOp []AllocFigure `json:"allocs_per_op"`
@@ -111,6 +115,10 @@ func BuildPerfReport(q Quality) *PerfReport {
 
 	for _, loss := range []int{0, 10, 20} {
 		r.LossRecovery = append(r.LossRecovery, lossRecovery(loss, 1<<20, q.Warmup+q.Iters))
+	}
+
+	if pts, err := ShmLatencyFamily(ShmLatencySizes(), q); err == nil {
+		r.ShmLatency = pts
 	}
 
 	for _, gates := range []int{1, 4} {

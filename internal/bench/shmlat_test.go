@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"testing"
+
+	"newmad/internal/drivers/shmdrv"
+)
+
+// TestShmLatencyBeatsTCPLoopback is the shm rail's acceptance figure:
+// at every sweep size, the shared-memory pingpong half-RTT must be
+// strictly below the TCP-loopback half-RTT on the same machine — the
+// ring's futex doorbell and single-copy paths against the kernel's
+// socket stack. Wall-clock, but the margin is large (no syscalls on
+// the shm data path), so the ordering is stable even under -race.
+func TestShmLatencyBeatsTCPLoopback(t *testing.T) {
+	if !shmdrv.Supported() {
+		t.Skip("shared-memory rails unsupported on this platform")
+	}
+	pts, err := ShmLatencyFamily(ShmLatencySizes(), Fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(ShmLatencySizes()) {
+		t.Fatalf("family has %d points, want %d", len(pts), len(ShmLatencySizes()))
+	}
+	for _, pt := range pts {
+		t.Logf("size %7d: shm %10.0f ns  tcp %10.0f ns  (%.1fx)",
+			pt.SizeBytes, pt.ShmHalfRTTNs, pt.TCPHalfRTTNs, pt.TCPHalfRTTNs/pt.ShmHalfRTTNs)
+		if pt.ShmHalfRTTNs >= pt.TCPHalfRTTNs {
+			t.Errorf("size %d: shm half-RTT %.0f ns not below tcp loopback %.0f ns",
+				pt.SizeBytes, pt.ShmHalfRTTNs, pt.TCPHalfRTTNs)
+		}
+	}
+}

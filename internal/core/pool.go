@@ -24,7 +24,8 @@ type Buf struct {
 	B []byte
 
 	full     []byte
-	class    int8 // size-class index, -1 for oversize (unpooled)
+	free     func() // release hook for external memory (WrapBuf)
+	class    int8   // size-class index, -1 for oversize (unpooled)
 	poisoned bool
 	released bool
 }
@@ -107,6 +108,18 @@ func GetBuf(n int) *Buf {
 	return &Buf{B: full[:n], full: full, class: int8(c)}
 }
 
+// WrapBuf dresses externally owned memory — a shared-memory arena
+// region, a mapped device buffer — as an arena lease: it enters the
+// same Gets/Puts/Live accounting as pooled buffers (so the drvtest leak
+// invariant covers it), and Release invokes free exactly once instead
+// of pooling. The bytes belong to whoever provided them; the poison
+// canary never touches wrapped buffers.
+func WrapBuf(ext []byte, free func()) *Buf {
+	bufGets.Add(1)
+	bufLive.Add(1)
+	return &Buf{B: ext, full: ext, free: free, class: -1}
+}
+
 // Release returns the lease. The buffer must not be read or written
 // afterwards; with SetPoolChecks enabled that rule is enforced by a
 // poison fill verified at the next lease.
@@ -120,6 +133,13 @@ func (b *Buf) Release() {
 	b.released = true
 	bufPuts.Add(1)
 	bufLive.Add(-1)
+	if b.free != nil {
+		fn := b.free
+		b.free = nil
+		b.B = nil
+		fn()
+		return
+	}
 	if b.class < 0 {
 		return // oversize: not pooled, the GC takes it
 	}

@@ -95,6 +95,38 @@ func TestPoisonedBufCleanOnRelease(t *testing.T) {
 	}
 }
 
+func TestWrapBufReleasesThroughHook(t *testing.T) {
+	before := PoolStats()
+	ext := make([]byte, 512)
+	freed := 0
+	b := WrapBuf(ext, func() { freed++ })
+	if len(b.B) != 512 {
+		t.Fatalf("len(B) = %d", len(b.B))
+	}
+	mid := PoolStats()
+	if mid.Live-before.Live != 1 {
+		t.Fatal("wrapped lease not counted")
+	}
+	b.Release()
+	if freed != 1 {
+		t.Fatalf("free hook ran %d times", freed)
+	}
+	after := PoolStats()
+	if after.Live != before.Live {
+		t.Fatalf("live not restored: %d -> %d", before.Live, after.Live)
+	}
+	// The double-release guard applies to wrapped leases too.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release did not panic")
+		}
+		if freed != 1 {
+			t.Fatalf("free hook ran %d times after double release", freed)
+		}
+	}()
+	b.Release()
+}
+
 func TestEventBatchRecycleClears(t *testing.T) {
 	b := GetEventBatch()
 	b.Add(DriverEvent{Kind: EvArrive, Pkt: &Packet{}})

@@ -1,0 +1,562 @@
+// Package shmdrv is the shared-memory rail driver: a core.Driver over
+// one shmring segment, for peers on the same host. It is the intra-node
+// member of the heterogeneous rail family — the latency floor the
+// multirail engine stripes against tcp and udp rails.
+//
+// The segment carries two SPSC rings (one per direction) plus a
+// rendezvous arena each. Send is synchronous, memdrv-style: the frame
+// is committed to shared memory before Send returns, then the
+// completion fires — so outside Send the engine never has a packet
+// parked in this driver, and a killed peer surfaces as a refused Send
+// the engine cleanly reroutes. Three paths by frame size:
+//
+//   - inline (≤ Options.InlineMax): the whole wire frame copies through
+//     the ring — one copy in, one copy out into a pooled lease;
+//   - rendezvous (fits the arena): the frame is written once into an
+//     arena region and a 16-byte reference crosses the ring; the
+//     receiver wraps the region itself as the packet's lease
+//     (core.WrapBuf) — zero intermediate copies, the RDMA-write
+//     analogue;
+//   - jumbo (exceeds the arena): the frame streams through the ring in
+//     bounded segments and reassembles into one pooled lease, so
+//     arbitrarily large strategy chunks stay correct.
+//
+// Rendezvous regions follow a single-owner lease rule: the RECEIVER
+// releases the arena slot — the region rides the packet it delivered,
+// and freeing happens exactly once, when that packet's lease releases
+// (core.WrapBuf's hook), never through the buffer pool. The sender only
+// ever reclaims regions its peer has freed, in order. Both the pool
+// accounting (wrapped leases count in core.PoolStats) and
+// shmring.ArenaStats expose the invariant; drvtest's leak check
+// enforces it.
+//
+// Peer death is loud and exactly once: each side stamps a heartbeat in
+// the segment header, and the receive loop — the only reporter — turns
+// a peer that closed, or whose heartbeat went stale, into a single
+// RailDown after draining what was already published. The creator
+// unlinks the segment file as soon as the peer attaches, so a crashed
+// process cannot leak /dev/shm files for established rails; segments
+// orphaned before attach are swept by shmring.ReapOrphans.
+package shmdrv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"newmad/internal/core"
+	"newmad/internal/shmring"
+)
+
+// ErrClosed reports a send on a closed (or killed) driver.
+var ErrClosed = errors.New("shmdrv: closed")
+
+// Defaults for Options zero values.
+const (
+	// DefaultInlineMax is the largest wire frame that copies through the
+	// ring instead of taking an arena region.
+	DefaultInlineMax = 4 << 10
+	// DefaultHeartbeat is the liveness stamp interval.
+	DefaultHeartbeat = 50 * time.Millisecond
+)
+
+// Options parameterizes a shared-memory rail.
+type Options struct {
+	// Profile declares the rail characteristics; zero gets DefaultProfile.
+	Profile core.Profile
+	// RingBytes / ArenaBytes size the per-direction ring and rendezvous
+	// arena; zero gets the shmring defaults (256 KiB / 16 MiB).
+	RingBytes  int
+	ArenaBytes int
+	// InlineMax is the inline-vs-rendezvous threshold on the encoded
+	// frame size; zero gets DefaultInlineMax.
+	InlineMax int
+	// Heartbeat is this side's liveness stamp interval; zero gets
+	// DefaultHeartbeat.
+	Heartbeat time.Duration
+	// PeerTimeout is how stale the peer's heartbeat may grow before the
+	// rail is declared dead; zero gets the shmring default (2s). Keep it
+	// several times the peer's Heartbeat.
+	PeerTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Profile == (core.Profile{}) {
+		o.Profile = DefaultProfile()
+	}
+	if o.InlineMax <= 0 {
+		o.InlineMax = DefaultInlineMax
+	}
+	if o.InlineMax < core.HeaderLen {
+		o.InlineMax = core.HeaderLen
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = DefaultHeartbeat
+	}
+	return o
+}
+
+func (o Options) ringConfig() shmring.Config {
+	return shmring.Config{
+		RingBytes:   o.RingBytes,
+		ArenaBytes:  o.ArenaBytes,
+		PeerTimeout: o.PeerTimeout,
+	}
+}
+
+// DefaultProfile is the declared profile for an untuned shm rail:
+// sub-microsecond latency, memory-bus bandwidth, the same rendezvous
+// threshold as the socket rails.
+func DefaultProfile() core.Profile {
+	return core.Profile{
+		Name:      "shm",
+		Latency:   time.Microsecond,
+		Bandwidth: 20e9,
+		EagerMax:  32 << 10,
+		PIOMax:    4 << 10,
+	}
+}
+
+// Supported reports whether this host can carry shared-memory rails.
+func Supported() bool { return shmring.Supported() }
+
+// Driver is one side of a shared-memory rail.
+type Driver struct {
+	seg  *shmring.Seg
+	opts Options
+
+	mu     sync.Mutex
+	rail   int
+	ev     core.Events
+	bound  chan struct{} // closed once Bind has run
+	closed bool
+	killed bool
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	downOnce sync.Once
+}
+
+// Create builds the segment (side 0) and starts this side of the rail.
+// The peer joins with Attach using the same name; hand it over however
+// the rails were negotiated (the session layer sends it over the
+// control connection).
+func Create(name string, opts Options) (*Driver, error) {
+	opts = opts.withDefaults()
+	seg, err := shmring.Create(name, opts.ringConfig())
+	if err != nil {
+		return nil, err
+	}
+	return newDriver(seg, opts), nil
+}
+
+// Attach joins an existing segment (side 1) and starts this side of
+// the rail.
+func Attach(name string, opts Options) (*Driver, error) {
+	opts = opts.withDefaults()
+	seg, err := shmring.Open(name, opts.ringConfig())
+	if err != nil {
+		return nil, err
+	}
+	return newDriver(seg, opts), nil
+}
+
+// New attaches to name if a peer already created it, else creates it —
+// the symmetric constructor for callers outside a client/server
+// handshake. Both processes may race New on the same name; exactly one
+// wins the create and the other attaches.
+func New(name string, opts Options) (*Driver, error) {
+	var lastErr error
+	for i := 0; i < 3; i++ {
+		d, err := Create(name, opts)
+		if err == nil {
+			return d, nil
+		}
+		lastErr = err
+		if d, err := Attach(name, opts); err == nil {
+			return d, nil
+		} else {
+			lastErr = err
+		}
+	}
+	return nil, fmt.Errorf("shmdrv: new %s: %w", name, lastErr)
+}
+
+// Pair builds both sides of a rail in one process — two independent
+// mappings of one anonymous segment — for tests and benchmarks.
+func Pair(opts Options) (*Driver, *Driver, error) {
+	name := shmring.RandomName()
+	a, err := Create(name, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := Attach(name, opts)
+	if err != nil {
+		a.Close()
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+func newDriver(seg *shmring.Seg, opts Options) *Driver {
+	d := &Driver{
+		seg:   seg,
+		opts:  opts,
+		bound: make(chan struct{}),
+		stop:  make(chan struct{}),
+	}
+	d.wg.Add(2)
+	go d.heartbeat()
+	go d.receiver()
+	return d
+}
+
+// Name implements core.Driver.
+func (d *Driver) Name() string {
+	return fmt.Sprintf("shm:%s/%d", d.seg.Name(), d.seg.Side())
+}
+
+// Profile implements core.Driver.
+func (d *Driver) Profile() core.Profile { return d.opts.Profile }
+
+// SegName returns the segment name a peer needs for Attach.
+func (d *Driver) SegName() string { return d.seg.Name() }
+
+// Bind implements core.Driver: it releases the receive loop, which
+// holds arrivals back until the engine is listening.
+func (d *Driver) Bind(rail int, ev core.Events) {
+	d.mu.Lock()
+	d.rail = rail
+	d.ev = ev
+	select {
+	case <-d.bound:
+	default:
+		close(d.bound)
+	}
+	d.mu.Unlock()
+}
+
+// jumboSegMax bounds one streamed segment of a jumbo frame so a single
+// record never dominates the ring.
+func (d *Driver) jumboSegMax() int {
+	seg := d.seg.Config().RingBytes / 4
+	if seg > 32<<10 {
+		seg = 32 << 10
+	}
+	return seg
+}
+
+// Send implements core.Driver. The frame is fully committed to the
+// segment — ring record published, or arena region published, or every
+// jumbo segment pushed — before the synchronous completion fires, so an
+// error return always means "not accepted" and the engine may safely
+// reroute the packet. Blocking happens only against a live, slow peer
+// (ring or arena full); a dead or closed peer fails the call instead.
+func (d *Driver) Send(p *core.Packet) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	rail, ev := d.rail, d.ev
+	d.mu.Unlock()
+
+	var hdr [core.HeaderLen]byte
+	p.Hdr.PayLen = uint32(len(p.Payload))
+	core.EncodeHeader(hdr[:], &p.Hdr)
+	wireLen := core.HeaderLen + len(p.Payload)
+	tx := d.seg.TX()
+
+	var err error
+	if wireLen <= d.opts.InlineMax {
+		err = tx.Push(shmring.RecInline, hdr[:], p.Payload)
+	} else {
+		err = d.sendRendezvous(tx, hdr[:], p.Payload, wireLen)
+		if errors.Is(err, shmring.ErrTooLarge) {
+			err = d.sendJumbo(tx, hdr[:], p.Payload, wireLen)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("shmdrv: send: %w", err)
+	}
+	ev.SendComplete(rail)
+	return nil
+}
+
+// sendRendezvous writes the frame once into an arena region and pushes
+// its 16-byte reference. A region carved but not published (the ring
+// push failed — peer died under us) is abandoned back to the arena so
+// "error = not accepted" holds without leaking the slot.
+func (d *Driver) sendRendezvous(tx *shmring.Dir, hdr, payload []byte, wireLen int) error {
+	off, region, err := tx.Alloc(wireLen)
+	if err != nil {
+		return err
+	}
+	copy(region, hdr)
+	copy(region[len(hdr):], payload)
+	var ref [16]byte
+	putU64(ref[:], off)
+	putU64(ref[8:], uint64(wireLen))
+	if err := tx.Push(shmring.RecRendezvous, ref[:]); err != nil {
+		tx.Free(off)
+		return err
+	}
+	return nil
+}
+
+// sendJumbo streams a frame too large for the arena through the ring in
+// bounded segments; the receiver reassembles them into one pooled
+// lease. A partially streamed frame (the peer died mid-stream) is
+// simply discarded by the receiver — nothing is delivered, so an error
+// return still means "not accepted".
+func (d *Driver) sendJumbo(tx *shmring.Dir, hdr, payload []byte, wireLen int) error {
+	var total [8]byte
+	putU64(total[:], uint64(wireLen))
+	if err := tx.Push(shmring.RecJumboStart, total[:]); err != nil {
+		return err
+	}
+	segMax := d.jumboSegMax()
+	if err := tx.Push(shmring.RecJumboSeg, hdr); err != nil {
+		return err
+	}
+	for off := 0; off < len(payload); off += segMax {
+		end := off + segMax
+		if end > len(payload) {
+			end = len(payload)
+		}
+		if err := tx.Push(shmring.RecJumboSeg, payload[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NeedsPoll implements core.Driver: the receive loop is a goroutine,
+// events are pushed.
+func (d *Driver) NeedsPoll() bool { return false }
+
+// Poll implements core.Driver; a no-op for this event-driven driver.
+func (d *Driver) Poll() {}
+
+// heartbeat stamps this side's liveness and, on the creator side,
+// unlinks the segment file the moment the peer attaches — from then on
+// the rail exists only as the two mappings and no crash can leak it.
+func (d *Driver) heartbeat() {
+	defer d.wg.Done()
+	tick := time.NewTicker(d.opts.Heartbeat)
+	defer tick.Stop()
+	for {
+		d.seg.StampHeartbeat()
+		if d.seg.Side() == 0 && !d.seg.Unlinked() && d.seg.PeerAttached() {
+			d.seg.Unlink()
+		}
+		select {
+		case <-d.stop:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// jumbo tracks one streaming reassembly in progress.
+type jumbo struct {
+	buf  *core.Buf
+	fill int
+}
+
+// receiver is the consume loop: it drains the RX ring into packets,
+// delivers them in batches through the bound Events sink, and is the
+// single authority on peer death — exactly one RailDown, and only after
+// everything the peer published has been delivered.
+func (d *Driver) receiver() {
+	defer d.wg.Done()
+	select {
+	case <-d.bound:
+	case <-d.stop:
+		return
+	}
+	d.mu.Lock()
+	rail, ev := d.rail, d.ev
+	d.mu.Unlock()
+
+	rx := d.seg.RX()
+	var jb *jumbo
+	var pending []*core.Packet
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		if be, ok := ev.(core.BatchEvents); ok {
+			batch := core.GetEventBatch()
+			for i, pkt := range pending {
+				pending[i] = nil
+				batch.Add(core.DriverEvent{Kind: core.EvArrive, Pkt: pkt})
+			}
+			be.DeliverBatch(rail, batch)
+		} else {
+			for i, pkt := range pending {
+				pending[i] = nil
+				ev.Arrive(rail, pkt)
+			}
+		}
+		pending = pending[:0]
+	}
+	defer func() {
+		flush()
+		if jb != nil {
+			jb.buf.Release() // truncated jumbo: nothing was delivered
+		}
+	}()
+
+	for {
+		select {
+		case <-d.stop:
+			return
+		default:
+		}
+		popped := rx.TryPop(func(kind uint32, a, b []byte) {
+			d.consume(&pending, &jb, kind, a, b)
+		})
+		if popped {
+			if len(pending) >= 32 {
+				flush()
+			}
+			continue
+		}
+		flush()
+		if gone, err := d.seg.PeerGone(); gone {
+			// Drain what was already published before reporting: records
+			// may have landed between the last TryPop and the check.
+			for rx.TryPop(func(kind uint32, a, b []byte) {
+				d.consume(&pending, &jb, kind, a, b)
+			}) {
+			}
+			flush()
+			select {
+			case <-d.stop: // local close racing the peer's: stay silent
+			default:
+				d.downOnce.Do(func() { ev.RailDown(rail, fmt.Errorf("shmdrv: %w", err)) })
+			}
+			return
+		}
+		rx.WaitData(0)
+	}
+}
+
+// consume turns one ring record into pending arrivals.
+func (d *Driver) consume(pending *[]*core.Packet, jb **jumbo, kind uint32, a, b []byte) {
+	switch kind {
+	case shmring.RecInline:
+		n := len(a) + len(b)
+		f := core.GetBuf(n)
+		copy(f.B, a)
+		copy(f.B[len(a):], b)
+		d.arrive(pending, f)
+
+	case shmring.RecRendezvous:
+		var ref [16]byte
+		copy(ref[:], a)
+		copy(ref[len(a):], b)
+		off := getU64(ref[:])
+		n := int(getU64(ref[8:]))
+		rx := d.seg.RX()
+		region := rx.Region(off, n)
+		// The region rides the packet: its lease releases through the
+		// WrapBuf hook — receiver frees the arena slot, holding the
+		// mapping alive until then.
+		d.seg.Retain()
+		f := core.WrapBuf(region, func() {
+			rx.Free(off)
+			d.seg.Unref()
+		})
+		d.arrive(pending, f)
+
+	case shmring.RecJumboStart:
+		var tot [8]byte
+		copy(tot[:], a)
+		copy(tot[len(a):], b)
+		if *jb != nil {
+			(*jb).buf.Release() // a new stream preempts a truncated one
+		}
+		*jb = &jumbo{buf: core.GetBuf(int(getU64(tot[:])))}
+
+	case shmring.RecJumboSeg:
+		if *jb == nil {
+			return // segment of a stream we never saw start; drop
+		}
+		s := *jb
+		copy(s.buf.B[s.fill:], a)
+		copy(s.buf.B[s.fill+len(a):], b)
+		s.fill += len(a) + len(b)
+		if s.fill >= len(s.buf.B) {
+			f := s.buf
+			*jb = nil
+			d.arrive(pending, f)
+		}
+	}
+}
+
+// arrive decodes one full frame lease into a pending packet. Ownership
+// of the lease passes to the packet (UnmarshalFrame releases it on
+// error).
+func (d *Driver) arrive(pending *[]*core.Packet, f *core.Buf) {
+	pkt, err := core.UnmarshalFrame(f)
+	if err != nil {
+		panic("shmdrv: corrupt packet: " + err.Error())
+	}
+	*pending = append(*pending, pkt)
+}
+
+// Kill abandons this side the way a crash would: goroutines stop, the
+// peer sees heartbeats cease (no graceful close flag), and local Sends
+// are refused — the engine's cue to reroute onto surviving rails. Test
+// hook for failover scenarios; Close afterwards still reclaims local
+// resources.
+func (d *Driver) Kill() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.killed = true
+	d.mu.Unlock()
+	close(d.stop)
+	d.seg.Kill()
+	d.wg.Wait()
+}
+
+// Close implements core.Driver: graceful shutdown. The peer observes a
+// closed side state (loud, immediate ErrPeerGone) rather than a
+// heartbeat timeout. Idempotent; safe after Kill.
+func (d *Driver) Close() error {
+	d.mu.Lock()
+	already := d.closed
+	d.closed = true
+	d.mu.Unlock()
+	if !already {
+		close(d.stop)
+	}
+	d.seg.Close()
+	d.wg.Wait()
+	return nil
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	_ = b[7]
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+var _ core.Driver = (*Driver)(nil)

@@ -1,0 +1,265 @@
+package shmdrv
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"newmad/internal/core"
+	"newmad/internal/shmring"
+)
+
+// TestMain is the orphaned-segment sweeper: any /dev/shm file left by a
+// crashed earlier run (its creator pid dead) is reaped before this run
+// starts, and whatever this run manages to leak is swept on the way
+// out. Tests killed hard mid-run therefore cannot poison the next run.
+func TestMain(m *testing.M) {
+	shmring.ReapOrphans()
+	code := m.Run()
+	shmring.ReapOrphans()
+	os.Exit(code)
+}
+
+func skipUnsupported(t *testing.T) {
+	t.Helper()
+	if !Supported() {
+		t.Skip("shared-memory segments unsupported on this platform")
+	}
+}
+
+// sink is a core.Events recorder that can HOLD arrived packets — their
+// leases stay live — to observe the arena lease lifecycle from outside.
+type sink struct {
+	mu        sync.Mutex
+	hold      bool
+	held      []*core.Packet
+	payloads  [][]byte
+	completes int
+	downs     []error
+}
+
+func (s *sink) SendComplete(rail int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.completes++
+}
+
+func (s *sink) SendFailed(rail int, p *core.Packet, err error) {}
+
+func (s *sink) Arrive(rail int, p *core.Packet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.payloads = append(s.payloads, append([]byte(nil), p.Payload...))
+	if s.hold {
+		s.held = append(s.held, p)
+		return
+	}
+	p.Release()
+}
+
+func (s *sink) RailDown(rail int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.downs = append(s.downs, err)
+}
+
+func (s *sink) releaseHeld() {
+	s.mu.Lock()
+	held := s.held
+	s.held = nil
+	s.mu.Unlock()
+	for _, p := range held {
+		p.Release()
+	}
+}
+
+func (s *sink) counts() (arrivals, completes, downs int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.payloads), s.completes, len(s.downs)
+}
+
+func (s *sink) payload(i int) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.payloads[i]
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func testPair(t *testing.T, opts Options) (*Driver, *Driver, *sink, *sink) {
+	t.Helper()
+	a, b, err := Pair(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	sa, sb := &sink{}, &sink{}
+	a.Bind(0, sa)
+	b.Bind(0, sb)
+	return a, b, sa, sb
+}
+
+func dataPkt(tag uint32, payload []byte) *core.Packet {
+	return &core.Packet{
+		Hdr: core.Header{
+			Kind: core.KData, Tag: tag, MsgSegs: 1,
+			MsgLen: uint64(len(payload)), SegLen: uint64(len(payload)),
+		},
+		Payload: payload,
+	}
+}
+
+// TestThreePathsDeliver pushes one frame down each size path — inline
+// through the ring, rendezvous through the arena, jumbo streamed in
+// segments — and byte-verifies all three at the peer.
+func TestThreePathsDeliver(t *testing.T) {
+	skipUnsupported(t)
+	// Arena at the 64 KiB floor: a 256 KiB frame cannot fit and must
+	// take the jumbo path.
+	opts := testOptions()
+	opts.ArenaBytes = 64 << 10
+	a, _, sa, sb := testPair(t, opts)
+
+	inline := bytes.Repeat([]byte{0xAA}, 1000)   // 1 KiB + header: inline
+	rdv := bytes.Repeat([]byte{0xBB}, 40<<10)    // 40 KiB: arena region
+	jumbo := bytes.Repeat([]byte{0xCC}, 256<<10) // 256 KiB: exceeds arena
+	for i, payload := range [][]byte{inline, rdv, jumbo} {
+		if err := a.Send(dataPkt(uint32(i), payload)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	waitFor(t, "three frames", func() bool { n, _, _ := sb.counts(); return n >= 3 })
+	if _, comp, _ := sa.counts(); comp != 3 {
+		t.Fatalf("completions: %d", comp)
+	}
+	for i, want := range [][]byte{inline, rdv, jumbo} {
+		if !bytes.Equal(sb.payload(i), want) {
+			t.Fatalf("frame %d corrupted (%d bytes)", i, len(sb.payload(i)))
+		}
+	}
+}
+
+// TestRendezvousLeaseSingleOwner pins the single-owner rule for arena
+// regions: while the receiver holds the delivered packet, exactly its
+// region is live in the arena accounting (and the wrapped lease is live
+// in the pool accounting); releasing the packet — the receiver's act,
+// not the pool's — frees the slot.
+func TestRendezvousLeaseSingleOwner(t *testing.T) {
+	skipUnsupported(t)
+	poolBefore := core.PoolStats()
+	arenaBefore := shmring.ArenaStats()
+	a, _, _, sb := testPair(t, testOptions())
+	sb.hold = true
+
+	payload := bytes.Repeat([]byte{0x5E}, 100<<10)
+	if err := a.Send(dataPkt(1, payload)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "rendezvous arrival", func() bool { n, _, _ := sb.counts(); return n >= 1 })
+	if live := shmring.ArenaStats().Live - arenaBefore.Live; live != 1 {
+		t.Fatalf("arena regions live while packet held: %d, want 1", live)
+	}
+	if !bytes.Equal(sb.payload(0), payload) {
+		t.Fatal("payload corrupted")
+	}
+	sb.releaseHeld()
+	if live := shmring.ArenaStats().Live - arenaBefore.Live; live != 0 {
+		t.Fatalf("arena regions live after release: %d, want 0", live)
+	}
+	if live := core.PoolStats().Live - poolBefore.Live; live != 0 {
+		t.Fatalf("pool leases live after release: %d, want 0", live)
+	}
+}
+
+// TestSendAfterKillRefused pins clean-failover semantics: a killed
+// driver refuses Sends with an error (packet NOT accepted), which is
+// the engine's cue to reroute the packet onto surviving rails.
+func TestSendAfterKillRefused(t *testing.T) {
+	skipUnsupported(t)
+	a, _, _, _ := testPair(t, testOptions())
+	a.Kill()
+	if err := a.Send(dataPkt(1, []byte("x"))); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after Kill: %v, want ErrClosed", err)
+	}
+}
+
+// TestPeerKillReportsRailDownOnce kills one side mid-conversation: the
+// survivor must deliver everything already published, then report
+// exactly one RailDown.
+func TestPeerKillReportsRailDownOnce(t *testing.T) {
+	skipUnsupported(t)
+	a, b, _, sb := testPair(t, testOptions())
+	if err := a.Send(dataPkt(1, []byte("before the crash"))); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "pre-crash arrival", func() bool { n, _, _ := sb.counts(); return n >= 1 })
+	a.Kill()
+	_ = b // b's receiver detects the stale heartbeat
+	waitFor(t, "rail-down report", func() bool { _, _, d := sb.counts(); return d >= 1 })
+	time.Sleep(50 * time.Millisecond)
+	if _, _, d := sb.counts(); d != 1 {
+		t.Fatalf("RailDown reported %d times, want exactly once", d)
+	}
+	if got := sb.payload(0); string(got) != "before the crash" {
+		t.Fatalf("pre-crash payload: %q", got)
+	}
+}
+
+// TestSegmentUnlinkedOnceAttached pins the no-leakable-file property:
+// as soon as both sides are up, the creator unlinks the backing file,
+// so an established rail exists only as the two mappings.
+func TestSegmentUnlinkedOnceAttached(t *testing.T) {
+	skipUnsupported(t)
+	a, _, _, _ := testPair(t, testOptions())
+	waitFor(t, "segment unlink", func() bool {
+		_, err := os.Stat(shmring.SegPath(a.SegName()))
+		return errors.Is(err, os.ErrNotExist)
+	})
+}
+
+// TestAttachOrCreateRace races New on one name from two goroutines:
+// exactly one creates, the other attaches, and the pair works.
+func TestAttachOrCreateRace(t *testing.T) {
+	skipUnsupported(t)
+	name := shmring.RandomName()
+	type res struct {
+		d   *Driver
+		err error
+	}
+	results := make(chan res, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			d, err := New(name, testOptions())
+			results <- res{d, err}
+		}()
+	}
+	r1, r2 := <-results, <-results
+	if r1.err != nil || r2.err != nil {
+		t.Fatalf("New race: %v / %v", r1.err, r2.err)
+	}
+	defer r1.d.Close()
+	defer r2.d.Close()
+	s1, s2 := &sink{}, &sink{}
+	r1.d.Bind(0, s1)
+	r2.d.Bind(0, s2)
+	if err := r1.d.Send(dataPkt(1, []byte("raced"))); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "raced delivery", func() bool { n, _, _ := s2.counts(); return n >= 1 })
+}

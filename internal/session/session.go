@@ -6,9 +6,10 @@
 // the hand-wiring of listeners and dials that cmd/nmad-pingpong does
 // manually. Rails are TCP streams by default; a RailSpec with Proto
 // "udp" brings the rail up over datagram sockets under the relnet
-// reliability layer (see udp.go for the handshake), and a gate may mix
-// both kinds — heterogeneous rails are the point of the multi-rail
-// design.
+// reliability layer (see udp.go for the handshake), Proto "shm" brings
+// it up over a shared-memory segment for same-host peers (see shm.go),
+// and a gate may mix all three kinds — heterogeneous rails are the
+// point of the multi-rail design.
 //
 // Each session gate is its own progress domain: traffic to different
 // peers on one engine proceeds in parallel, and the gate's TCP rails
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"newmad/internal/core"
+	"newmad/internal/drivers/shmdrv"
 	"newmad/internal/drivers/tcpdrv"
 	"newmad/internal/drivers/udpdrv"
 	"newmad/internal/netx"
@@ -38,8 +40,12 @@ import (
 // to 2 when the engine gained the KRecvAbort control packet: a version-1
 // peer would fail a healthy rail on the unknown kind. Bumped to 3 when
 // rails gained a proto field: a version-2 peer would dial a udp rail's
-// address with TCP and hang on a connect nothing accepts.
-const Version = 3
+// address with TCP and hang on a connect nothing accepts. Bumped to 4
+// when rails gained the shm proto: an shm rail's Addr is a /dev/shm
+// segment name, not a socket address, and the rail is confirmed by a
+// preamble on the control channel — a version-3 peer would try to dial
+// the segment name as a hostname.
+const Version = 4
 
 // DefaultHandshakeTimeout bounds a session handshake when Options leaves
 // HandshakeTimeout zero.
@@ -87,8 +93,11 @@ type RailSpec struct {
 	// Proto selects the rail transport: "" or "tcp" is a stream rail
 	// (tcpdrv); "udp" is a datagram rail whose loss, ordering and
 	// retransmission are handled by the relnet reliability layer
-	// (udpdrv). A gate may mix both — the engine's strategies stripe
-	// across them like any other heterogeneous rail pair.
+	// (udpdrv); "shm" is a same-host shared-memory rail (shmdrv) whose
+	// Addr is ignored — each accepted session gets a fresh anonymous
+	// segment whose name crosses the control channel. A gate may mix all
+	// kinds — the engine's strategies stripe across them like any other
+	// heterogeneous rail set.
 	Proto string
 	// Profile declares the rail characteristics (zero values get the
 	// driver's defaults).
@@ -136,7 +145,9 @@ type Server struct {
 }
 
 // railListener is one advertised rail endpoint: a TCP listener or a UDP
-// preamble socket, per the spec's proto.
+// preamble socket, per the spec's proto. An shm rail has no OS listener
+// at all (the zero railListener) — its per-session segment is created
+// inside Accept and named in the hello.
 type railListener struct {
 	tcp net.Listener
 	udp *net.UDPConn
@@ -146,14 +157,20 @@ func (rl railListener) addr() string {
 	if rl.udp != nil {
 		return rl.udp.LocalAddr().String()
 	}
-	return rl.tcp.Addr().String()
+	if rl.tcp != nil {
+		return rl.tcp.Addr().String()
+	}
+	return "" // shm: the hello carries the segment name instead
 }
 
 func (rl railListener) close() error {
 	if rl.udp != nil {
 		return rl.udp.Close()
 	}
-	return rl.tcp.Close()
+	if rl.tcp != nil {
+		return rl.tcp.Close()
+	}
+	return nil
 }
 
 // Listen starts a server for the given engine: a control listener on
@@ -185,6 +202,12 @@ func Listen(ctx context.Context, eng *core.Engine, name, ctrlAddr string, rails 
 				return nil, fmt.Errorf("session: rail %d listen %s: %w", i, spec.Addr, err)
 			}
 			s.rails = append(s.rails, railListener{udp: pc.(*net.UDPConn)})
+		case "shm":
+			if !shmdrv.Supported() {
+				s.Close()
+				return nil, fmt.Errorf("session: rail %d: shm rails unsupported on this platform", i)
+			}
+			s.rails = append(s.rails, railListener{})
 		default:
 			s.Close()
 			return nil, fmt.Errorf("session: rail %d: unknown proto %q", i, spec.Proto)
@@ -225,16 +248,31 @@ func (s *Server) Accept(ctx context.Context) (*core.Gate, string, error) {
 		return nil, "", fmt.Errorf("session: version mismatch: client %d, server %d", cli.Version, Version)
 	}
 	token := fmt.Sprintf("%08x%08x", rand.Uint32(), rand.Uint32())
+	// Shared-memory rails have no listener to accept on: each session
+	// gets a fresh segment, created here so its name can ride in the
+	// hello's Addr field. Ownership moves to eps as each rail is
+	// confirmed; anything left in shmPre on a failure path is closed.
+	shmPre, err := s.createShmRails()
+	if err != nil {
+		return nil, "", err
+	}
 	srv := hello{Version: Version, Name: s.name, Token: token}
 	for i, spec := range s.specs {
 		prof := spec.Profile
+		addr := s.rails[i].addr()
+		if d, ok := shmPre[i]; ok {
+			// The hello advertises the driver's effective profile, so a
+			// zero spec profile crosses as shmdrv's defaults, not zeros.
+			addr, prof = d.SegName(), d.Profile()
+		}
 		srv.Rails = append(srv.Rails, railInfo{
-			Addr: s.rails[i].addr(), Proto: spec.Proto, Name: prof.Name,
+			Addr: addr, Proto: spec.Proto, Name: prof.Name,
 			LatencyNS: prof.Latency.Nanoseconds(), BandwidthBS: prof.Bandwidth,
 			EagerMax: prof.EagerMax, PIOMax: prof.PIOMax,
 		})
 	}
 	if err := writeJSON(conn, srv); err != nil {
+		closeShmRails(shmPre)
 		return nil, "", fmt.Errorf("session: write server hello: %w", err)
 	}
 	// Bring every rail connection up and authenticate it before touching
@@ -247,8 +285,22 @@ func (s *Server) Accept(ctx context.Context) (*core.Gate, string, error) {
 		for _, e := range eps {
 			e.close()
 		}
+		closeShmRails(shmPre)
 	}
 	for i, spec := range s.specs {
+		if spec.Proto == "shm" {
+			// The client confirms its attach with a preamble on the
+			// control channel — reading it here both orders the handshake
+			// (the client acks rails in spec order) and authenticates the
+			// attach with the session token.
+			if err := s.confirmShmRail(r, token, i); err != nil {
+				closeEps()
+				return nil, "", fmt.Errorf("session: rail %d shm confirm: %w", i, ctxErrOr(ctx, err))
+			}
+			eps = append(eps, railEndpoint{shm: shmPre[i]})
+			delete(shmPre, i)
+			continue
+		}
 		if spec.Proto == "udp" {
 			s1, client, err := s.acceptUDPRail(ctx, i, token, hsDeadline)
 			if err != nil {
@@ -302,14 +354,20 @@ func (s *Server) Accept(ctx context.Context) (*core.Gate, string, error) {
 }
 
 // railEndpoint is one authenticated rail connection awaiting gate
-// attachment: a TCP stream, or a UDP socket aimed at a fixed peer.
+// attachment: a TCP stream, a UDP socket aimed at a fixed peer, or an
+// already-running shared-memory driver.
 type railEndpoint struct {
 	tcp     net.Conn
 	udp     *net.UDPConn
 	udpPeer *net.UDPAddr
+	shm     *shmdrv.Driver
 }
 
 func (e railEndpoint) close() {
+	if e.shm != nil {
+		e.shm.Close()
+		return
+	}
 	if e.udp != nil {
 		e.udp.Close()
 		return
@@ -319,8 +377,13 @@ func (e railEndpoint) close() {
 
 // driver builds the endpoint's rail driver. A UDP endpoint comes up
 // under the relnet reliability layer (udpdrv.New wraps and starts it);
-// zero relnet knobs derive from the rail profile, on a wall clock.
+// zero relnet knobs derive from the rail profile, on a wall clock. An
+// shm endpoint was constructed during the handshake (the profile was
+// baked in then) and only needs handing over.
 func (e railEndpoint) driver(prof core.Profile) core.Driver {
+	if e.shm != nil {
+		return e.shm
+	}
 	if e.udp != nil {
 		return udpdrv.New(e.udp, e.udpPeer, udpdrv.Options{Profile: prof})
 	}
@@ -392,6 +455,14 @@ func Connect(ctx context.Context, eng *core.Engine, name, ctrlAddr string, opts 
 				return nil, "", fmt.Errorf("session: rail %d udp handshake %s: %w", i, ri.Addr, err)
 			}
 			eps = append(eps, railEndpoint{udp: uc, udpPeer: peer})
+			continue
+		case "shm":
+			d, err := attachShmRail(conn, ri, srv.Token, i)
+			if err != nil {
+				closeEps()
+				return nil, "", fmt.Errorf("session: rail %d shm attach %s: %w", i, ri.Addr, ctxErrOr(ctx, err))
+			}
+			eps = append(eps, railEndpoint{shm: d})
 			continue
 		default:
 			closeEps()

@@ -1,0 +1,36 @@
+//go:build linux
+
+package shmring
+
+import (
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// Futex operation codes. The non-PRIVATE forms are required: the waiter
+// and the waker sit in different processes, sharing the word through
+// the MAP_SHARED segment.
+const (
+	futexWaitOp = 0 // FUTEX_WAIT
+	futexWakeOp = 1 // FUTEX_WAKE
+)
+
+// futexWait parks the caller on the word while it still holds val, for
+// at most timeout. Spurious returns (EINTR, EAGAIN on a raced value
+// change, timeout) are fine by construction — every caller loops on the
+// real condition.
+func futexWait(addr *atomic.Uint32, val uint32, timeout time.Duration) {
+	ts := syscall.NsecToTimespec(timeout.Nanoseconds())
+	syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(addr)), futexWaitOp, uintptr(val),
+		uintptr(unsafe.Pointer(&ts)), 0, 0)
+}
+
+// futexWake wakes every waiter parked on the word.
+func futexWake(addr *atomic.Uint32) {
+	syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(addr)), futexWakeOp, uintptr(^uint32(0)>>1),
+		0, 0, 0)
+}

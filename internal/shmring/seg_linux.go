@@ -1,0 +1,252 @@
+//go:build linux
+
+package shmring
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// shmDir is where segments live: a tmpfs present on every modern Linux.
+const shmDir = "/dev/shm"
+
+// NamePrefix marks every segment file this package creates, so the
+// orphan reaper only ever considers its own files.
+const NamePrefix = "newmad-shm-"
+
+// Header field offsets (within page 0). The magic is written LAST and
+// atomically: an attacher that sees it may trust everything else.
+const (
+	hdrMagic = 0
+	hdrVer   = 8
+	hdrRing  = 12
+	hdrArena = 16
+	hdrPID   = 24
+)
+
+var (
+	supportedOnce sync.Once
+	supportedOK   bool
+	nameSeq       atomic.Uint64
+)
+
+// Supported reports whether this host can carry shared-memory rails:
+// Linux with a writable /dev/shm.
+func Supported() bool {
+	supportedOnce.Do(func() {
+		st, err := os.Stat(shmDir)
+		if err != nil || !st.IsDir() {
+			return
+		}
+		probe, err := os.CreateTemp(shmDir, NamePrefix+"probe-*")
+		if err != nil {
+			return
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+		supportedOK = true
+	})
+	return supportedOK
+}
+
+// RandomName mints a fresh segment name carrying the creator pid (for
+// the reaper) and enough entropy to never collide.
+func RandomName() string {
+	var b [4]byte
+	rand.Read(b[:])
+	return fmt.Sprintf("%s%d-%d-%s", NamePrefix, os.Getpid(), nameSeq.Add(1), hex.EncodeToString(b[:]))
+}
+
+// SegPath returns the filesystem path backing a segment name.
+func SegPath(name string) string { return filepath.Join(shmDir, name) }
+
+// Create builds a fresh segment under name and maps it as side 0. The
+// file is created O_EXCL: a live name collision is an error, but a
+// collision with an orphan — a dead creator's leftover — is reaped and
+// retried once, so crashed runs can't poison a name forever.
+func Create(name string, cfg Config) (*Seg, error) {
+	if !Supported() {
+		return nil, ErrUnsupported
+	}
+	cfg = cfg.withDefaults()
+	path := SegPath(name)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o600)
+	if errors.Is(err, os.ErrExist) {
+		if reapOne(path) {
+			f, err = os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o600)
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("shmring: create %s: %w", name, err)
+	}
+	size := segSize(cfg)
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("shmring: size %s: %w", name, err)
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	f.Close()
+	if err != nil {
+		os.Remove(path)
+		return nil, fmt.Errorf("shmring: mmap %s: %w", name, err)
+	}
+	s := &Seg{name: name, path: path, mem: mem, side: 0, cfg: cfg}
+	s.refs.Store(1)
+	putU32(mem[hdrVer:], segVersion)
+	putU32(mem[hdrRing:], uint32(cfg.RingBytes))
+	putU32(mem[hdrArena:], uint32(cfg.ArenaBytes))
+	putU64(mem[hdrPID:], uint64(os.Getpid()))
+	s.bind()
+	s.sideWord32(0, sideState).Store(stateAttached)
+	s.StampHeartbeat()
+	// Publish last: an attacher polling the magic sees a complete header.
+	(*atomic.Uint64)(unsafe.Pointer(&mem[hdrMagic])).Store(segMagic)
+	return s, nil
+}
+
+// Open maps an existing segment as side 1. The creator may still be
+// mid-initialisation (attach-or-create races), so the magic is polled
+// briefly before giving up. Only one attacher wins the side-1 slot.
+func Open(name string, cfg Config) (*Seg, error) {
+	if !Supported() {
+		return nil, ErrUnsupported
+	}
+	cfg = cfg.withDefaults()
+	path := SegPath(name)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("shmring: open %s: %w", name, err)
+	}
+	defer f.Close()
+	hdr := make([]byte, hdrSize)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := f.ReadAt(hdr[:32], 0); err == nil && getU64(hdr[hdrMagic:]) == segMagic {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("shmring: open %s: segment never initialised", name)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v := getU32(hdr[hdrVer:]); v != segVersion {
+		return nil, fmt.Errorf("shmring: open %s: version %d, want %d", name, v, segVersion)
+	}
+	geo := Config{
+		RingBytes:   int(getU32(hdr[hdrRing:])),
+		ArenaBytes:  int(getU32(hdr[hdrArena:])),
+		PeerTimeout: cfg.PeerTimeout,
+	}
+	size := segSize(geo)
+	if st, err := f.Stat(); err != nil || st.Size() < int64(size) {
+		return nil, fmt.Errorf("shmring: open %s: truncated segment", name)
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("shmring: mmap %s: %w", name, err)
+	}
+	s := &Seg{name: name, path: path, mem: mem, side: 1, cfg: geo}
+	s.refs.Store(1)
+	s.bind()
+	if !s.sideWord32(1, sideState).CompareAndSwap(stateInit, stateAttached) {
+		syscall.Munmap(mem)
+		return nil, fmt.Errorf("shmring: open %s: segment already has a peer", name)
+	}
+	s.StampHeartbeat()
+	// Wake the creator: its handshake may be parked waiting for us.
+	s.wakeAll()
+	return s, nil
+}
+
+// Unlink removes the segment file. The canonical flow is the creator
+// unlinking as soon as the peer attaches — from then on the segment
+// exists only as the two mappings and a process crash can't leak a
+// file. Idempotent, callable by either side.
+func (s *Seg) Unlink() {
+	if s.unlinked.Swap(true) {
+		return
+	}
+	os.Remove(s.path)
+}
+
+// Unlinked reports whether the segment file has been removed.
+func (s *Seg) Unlinked() bool { return s.unlinked.Load() }
+
+func (s *Seg) unmap() {
+	// Runs only when the reference count hit zero: no Dir operation is
+	// in flight (they all enter/exit) and none can start again.
+	if s.unmapped.Swap(true) {
+		return
+	}
+	syscall.Munmap(s.mem)
+}
+
+// reapOne unlinks path if it is a newmad segment whose creator process
+// is gone, or an unreadable/uninitialised leftover older than a minute.
+// Reports whether the path no longer stands in the way.
+func reapOne(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return errors.Is(err, os.ErrNotExist)
+	}
+	hdr := make([]byte, 32)
+	_, rerr := f.ReadAt(hdr, 0)
+	f.Close()
+	if rerr != nil || getU64(hdr[hdrMagic:]) != segMagic {
+		if st, err := os.Stat(path); err == nil && time.Since(st.ModTime()) > time.Minute {
+			return os.Remove(path) == nil
+		}
+		return false
+	}
+	pid := int(getU64(hdr[hdrPID:]))
+	if pid <= 0 || !pidAlive(pid) {
+		return os.Remove(path) == nil
+	}
+	return false
+}
+
+// pidAlive reports whether a process with the given pid exists (signal
+// 0 probe; EPERM still means alive).
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+// ReapOrphans sweeps /dev/shm for segments left behind by crashed
+// processes — creator pid no longer alive — and unlinks them. Returns
+// how many files were removed. Safe to run concurrently with live
+// traffic: live segments' creators are alive, so they are skipped.
+func ReapOrphans() int {
+	if !Supported() {
+		return 0
+	}
+	ents, err := os.ReadDir(shmDir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if !strings.HasPrefix(e.Name(), NamePrefix) || e.IsDir() {
+			continue
+		}
+		full := filepath.Join(shmDir, e.Name())
+		if _, err := os.Stat(full); err != nil {
+			continue
+		}
+		if reapOne(full) {
+			n++
+		}
+	}
+	return n
+}

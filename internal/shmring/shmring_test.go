@@ -1,0 +1,355 @@
+package shmring
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// skipUnsupported gates every test here: on hosts without /dev/shm the
+// package still builds, and the suite skips instead of failing.
+func skipUnsupported(t *testing.T) {
+	t.Helper()
+	if !Supported() {
+		t.Skip("shared-memory segments unsupported on this platform")
+	}
+}
+
+// pair creates and attaches one segment, cleaning both sides up.
+func pair(t *testing.T, cfg Config) (*Seg, *Seg) {
+	t.Helper()
+	name := RandomName()
+	a, err := Create(name, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := Open(name, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return a, b
+}
+
+func TestSegCreateOpen(t *testing.T) {
+	skipUnsupported(t)
+	a, b := pair(t, Config{RingBytes: 8 << 10, ArenaBytes: 64 << 10})
+	if a.Side() != 0 || b.Side() != 1 {
+		t.Fatalf("sides: %d/%d", a.Side(), b.Side())
+	}
+	if !a.PeerAttached() || !b.PeerAttached() {
+		t.Fatal("peers not mutually attached")
+	}
+	// Only one attacher may win side 1.
+	if _, err := Open(a.Name(), Config{}); err == nil {
+		t.Fatal("second attacher accepted")
+	}
+	// The canonical flow: creator unlinks once the peer is in; both
+	// mappings keep working with no file on disk.
+	a.Unlink()
+	if _, err := os.Stat(SegPath(a.Name())); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("segment file survived unlink: %v", err)
+	}
+	if err := a.TX().Push(RecInline, []byte("post-unlink")); err != nil {
+		t.Fatal(err)
+	}
+	got := popOne(t, b.RX())
+	if string(got) != "post-unlink" {
+		t.Fatalf("payload: %q", got)
+	}
+}
+
+// popOne blocks until one record arrives and returns a copy of its
+// payload.
+func popOne(t *testing.T, d *Dir) []byte {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var out []byte
+	for {
+		if d.TryPop(func(kind uint32, a, b []byte) {
+			out = append(append([]byte(nil), a...), b...)
+		}) {
+			return out
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no record within deadline")
+		}
+		d.WaitData(waitSlice)
+	}
+}
+
+// TestRingWrapAndOrder streams thousands of variable-size records
+// through a tiny ring from another goroutine: every record must arrive
+// intact and in order across many wrap points, with the producer
+// blocking on ring-full along the way.
+func TestRingWrapAndOrder(t *testing.T) {
+	skipUnsupported(t)
+	a, b := pair(t, Config{RingBytes: 4 << 10, ArenaBytes: 64 << 10})
+	const n = 5000
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			payload := bytes.Repeat([]byte{byte(i)}, 1+i%700)
+			hdr := []byte(fmt.Sprintf("%06d", i))
+			if err := a.TX().Push(RecInline, hdr, payload); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < n; i++ {
+		rec := popOne(t, b.RX())
+		if len(rec) != 6+1+i%700 {
+			t.Fatalf("record %d: length %d", i, len(rec))
+		}
+		if string(rec[:6]) != fmt.Sprintf("%06d", i) {
+			t.Fatalf("record %d out of order: %q", i, rec[:6])
+		}
+		for _, c := range rec[6:] {
+			if c != byte(i) {
+				t.Fatalf("record %d corrupted", i)
+			}
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if !b.RX().Empty() {
+		t.Fatal("ring not drained")
+	}
+}
+
+// TestArenaWrapAndReclaim cycles rendezvous regions through a small
+// arena so allocation crosses the wrap (skip regions) and blocks on
+// arena-full until the consumer frees, with the lease counters
+// balancing at the end.
+func TestArenaWrapAndReclaim(t *testing.T) {
+	skipUnsupported(t)
+	before := ArenaStats()
+	a, b := pair(t, Config{RingBytes: 8 << 10, ArenaBytes: 64 << 10})
+	const n = 200
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			size := 5000 + i%9000
+			off, region, err := a.TX().Alloc(size)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for j := range region {
+				region[j] = byte(i)
+			}
+			var ref [16]byte
+			putU64(ref[:], off)
+			putU64(ref[8:], uint64(size))
+			if err := a.TX().Push(RecRendezvous, ref[:]); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < n; i++ {
+		rec := popOne(t, b.RX())
+		off, size := getU64(rec), int(getU64(rec[8:]))
+		if size != 5000+i%9000 {
+			t.Fatalf("region %d: size %d", i, size)
+		}
+		region := b.RX().Region(off, size)
+		for _, c := range region {
+			if c != byte(i) {
+				t.Fatalf("region %d corrupted", i)
+			}
+		}
+		b.RX().Free(off)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	after := ArenaStats()
+	if live := after.Live - before.Live; live != 0 {
+		t.Fatalf("leaked %d arena regions", live)
+	}
+	if after.Allocs-before.Allocs != n {
+		t.Fatalf("allocs: %d", after.Allocs-before.Allocs)
+	}
+}
+
+// TestCloseUnblocksProducer parks a producer on a full ring and closes
+// the segment locally from another goroutine: the Push must fail with
+// ErrClosed instead of hanging.
+func TestCloseUnblocksProducer(t *testing.T) {
+	skipUnsupported(t)
+	a, _ := pair(t, Config{RingBytes: 4 << 10, ArenaBytes: 64 << 10})
+	blob := make([]byte, 1024)
+	errc := make(chan error, 1)
+	go func() {
+		for {
+			if err := a.TX().Push(RecInline, blob); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer still blocked after Close")
+	}
+}
+
+// TestPeerGracefulClose pins the loud-death contract: the peer closing
+// its side fails a blocked producer with ErrPeerGone promptly.
+func TestPeerGracefulClose(t *testing.T) {
+	skipUnsupported(t)
+	a, b := pair(t, Config{RingBytes: 4 << 10, ArenaBytes: 64 << 10})
+	blob := make([]byte, 1024)
+	errc := make(chan error, 1)
+	go func() {
+		for {
+			if err := a.TX().Push(RecInline, blob); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrPeerGone) {
+			t.Fatalf("err = %v, want ErrPeerGone", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer never noticed the peer closing")
+	}
+}
+
+// TestPeerCrashDetectedByHeartbeat kills the attacher the way a crash
+// would — no shared state change, heartbeats just stop — and the
+// creator's blocked producer must fail with ErrPeerGone once the
+// heartbeat goes stale.
+func TestPeerCrashDetectedByHeartbeat(t *testing.T) {
+	skipUnsupported(t)
+	cfg := Config{RingBytes: 4 << 10, ArenaBytes: 64 << 10, PeerTimeout: 150 * time.Millisecond}
+	a, b := pair(t, cfg)
+	// Keep the victim's heartbeat fresh until the kill.
+	b.StampHeartbeat()
+	b.Kill()
+	blob := make([]byte, 1024)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := a.TX().Push(RecInline, blob)
+		if errors.Is(err, ErrPeerGone) {
+			return
+		}
+		if err != nil {
+			t.Fatalf("err = %v, want ErrPeerGone", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("crash never detected")
+		}
+	}
+}
+
+// TestOpenWaitsForInit covers the unlink-on-open race window: an
+// attacher that opens the file before the creator finished writing the
+// header must poll for the magic instead of failing on a half-built
+// segment. The file is laid out by hand with everything BUT the magic,
+// which lands 50ms later.
+func TestOpenWaitsForInit(t *testing.T) {
+	skipUnsupported(t)
+	name := RandomName()
+	cfg := (Config{RingBytes: 4 << 10, ArenaBytes: 64 << 10}).withDefaults()
+	img := make([]byte, segSize(cfg))
+	putU32(img[hdrVer:], segVersion)
+	putU32(img[hdrRing:], uint32(cfg.RingBytes))
+	putU32(img[hdrArena:], uint32(cfg.ArenaBytes))
+	putU64(img[hdrPID:], uint64(os.Getpid()))
+	putU32(img[side0Off+sideState:], stateAttached)
+	putU64(img[side0Off+sideHeart:], uint64(time.Now().UnixNano()))
+	// No magic yet: this is the creator caught mid-initialisation.
+	if err := os.WriteFile(SegPath(name), img, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(SegPath(name))
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		f, err := os.OpenFile(SegPath(name), os.O_RDWR, 0)
+		if err != nil {
+			return
+		}
+		var magic [8]byte
+		putU64(magic[:], segMagic)
+		f.WriteAt(magic[:], hdrMagic)
+		f.Close()
+	}()
+	start := time.Now()
+	b, err := Open(name, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("Open returned before the magic was published")
+	}
+	b.Close()
+}
+
+// TestReapOrphans plants a segment whose creator pid is provably dead
+// (a reaped child) next to a live one: the sweep removes exactly the
+// orphan.
+func TestReapOrphans(t *testing.T) {
+	skipUnsupported(t)
+	cmd := exec.Command("/bin/true")
+	if err := cmd.Start(); err != nil {
+		t.Skipf("cannot spawn child: %v", err)
+	}
+	deadPID := cmd.Process.Pid
+	cmd.Wait()
+
+	orphan := SegPath(RandomName())
+	hdr := make([]byte, hdrSize)
+	putU32(hdr[hdrVer:], segVersion)
+	putU64(hdr[hdrPID:], uint64(deadPID))
+	putU64(hdr[hdrMagic:], segMagic)
+	if err := os.WriteFile(orphan, hdr, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	live, err := Create(RandomName(), Config{RingBytes: 4 << 10, ArenaBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+
+	if n := ReapOrphans(); n < 1 {
+		t.Fatalf("reaped %d files, want >= 1", n)
+	}
+	if _, err := os.Stat(orphan); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("orphan survived the sweep")
+	}
+	if _, err := os.Stat(SegPath(live.Name())); err != nil {
+		t.Fatalf("live segment reaped: %v", err)
+	}
+
+	// A name collision with the orphaned file resolves itself: Create
+	// reaps the dead segment and takes the name.
+	os.WriteFile(orphan, hdr, 0o600)
+	reborn, err := Create(orphan[len(SegPath("")):], Config{RingBytes: 4 << 10, ArenaBytes: 64 << 10})
+	if err != nil {
+		t.Fatalf("create over orphan: %v", err)
+	}
+	reborn.Close()
+}

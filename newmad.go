@@ -40,12 +40,14 @@ import (
 	"newmad/internal/bench"
 	"newmad/internal/core"
 	"newmad/internal/des"
+	"newmad/internal/drivers/shmdrv"
 	"newmad/internal/drivers/tcpdrv"
 	"newmad/internal/drivers/udpdrv"
 	"newmad/internal/mpl"
 	"newmad/internal/relnet"
 	"newmad/internal/sampling"
 	"newmad/internal/session"
+	"newmad/internal/shmring"
 	"newmad/internal/simnet"
 	"newmad/internal/simnet/chaos"
 	"newmad/internal/simnet/topo"
@@ -306,8 +308,9 @@ func WithSimTimeout(ctx context.Context, p *Proc, d time.Duration) context.Conte
 // Sessions: negotiated multi-rail bring-up between two processes.
 
 // RailSpec declares one rail a session server offers: a TCP stream by
-// default, or — with Proto "udp" — a datagram rail under the relnet
-// reliability layer. One session may mix both.
+// default, with Proto "udp" a datagram rail under the relnet
+// reliability layer, or with Proto "shm" a same-host shared-memory
+// rail. One session may mix all three.
 type RailSpec = session.RailSpec
 
 // SessionServer accepts negotiated multi-rail sessions.
@@ -383,6 +386,42 @@ type UDPOptions = udpdrv.Options
 func NewUDP(conn *net.UDPConn, peer *net.UDPAddr, opts UDPOptions) *ReliableDriver {
 	return udpdrv.New(conn, peer, opts)
 }
+
+// Shared-memory rails (same-host peers; Linux /dev/shm).
+
+// ShmOptions configures a shared-memory rail: profile, ring and
+// rendezvous-arena sizes, the inline threshold and the liveness knobs.
+type ShmOptions = shmdrv.Options
+
+// ShmDriver is one side of a shared-memory rail.
+type ShmDriver = shmdrv.Driver
+
+// ShmSupported reports whether this host can carry shared-memory rails
+// (Linux with a usable /dev/shm). On other platforms the constructors
+// fail and session rails with Proto "shm" are rejected at Listen.
+func ShmSupported() bool { return shmdrv.Supported() }
+
+// NewShm attaches to the named segment if a peer already created it,
+// else creates it — the symmetric constructor for two same-host
+// processes that agreed on a name out of band. Most callers want
+// session rails with Proto "shm" instead, which negotiate a fresh
+// anonymous segment per session.
+func NewShm(name string, opts ShmOptions) (*ShmDriver, error) { return shmdrv.New(name, opts) }
+
+// NewShmPair builds both sides of a shared-memory rail in one process —
+// two independent mappings of one anonymous segment — for tests,
+// benchmarks and demos.
+func NewShmPair(opts ShmOptions) (*ShmDriver, *ShmDriver, error) { return shmdrv.Pair(opts) }
+
+// ShmSegmentName returns a fresh single-use segment name for NewShm:
+// unique per process and call, and carrying the prefix the orphan
+// reaper scans for, so a crashed process's segments are reclaimable.
+func ShmSegmentName() string { return shmring.RandomName() }
+
+// ReapShmOrphans removes segments left in /dev/shm by crashed
+// processes (creator pid no longer alive) and reports how many it
+// unlinked. Live segments are never touched.
+func ReapShmOrphans() int { return shmring.ReapOrphans() }
 
 // Tracing.
 
