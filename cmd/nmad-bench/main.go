@@ -5,6 +5,7 @@
 //
 //	nmad-bench                 # all figures, tables to stdout
 //	nmad-bench -fig fig7       # one figure
+//	nmad-bench -hedge -adaptive  # just the hedged/adaptive scheduling figures
 //	nmad-bench -csv -out dir   # write <fig>.csv files into dir
 //	nmad-bench -iters 16       # more timed iterations per point
 //	nmad-bench -emit-json BENCH_6.json  # pinned perf report (exits 1
@@ -33,6 +34,8 @@ func main() {
 		check    = flag.Bool("check", false, "evaluate every paper claim and print a pass/fail table")
 		collAlgo = flag.String("coll-algo", "", "force the collective algorithm of ext-coll's selected series (linear, tree, pipeline; default auto)")
 		emitJSON = flag.String("emit-json", "", "write the pinned perf report (BENCH_*.json schema) to this path; exits 1 on an allocation budget regression")
+		hedge    = flag.Bool("hedge", false, "shortcut for the hedged-scheduling figure (ext-hedge); combines with -adaptive")
+		adaptive = flag.Bool("adaptive", false, "shortcut for the adaptive-selection figure (ext-adaptive); combines with -hedge")
 	)
 	flag.Parse()
 	if *emitJSON != "" {
@@ -74,7 +77,24 @@ func main() {
 	if *plotFlag {
 		mode = modePlot
 	}
-	if err := run(*figFlag, mode, *outDir, bench.Quality{Warmup: *warmup, Iters: *iters, Verify: *verify, Coll: *collAlgo}); err != nil {
+	ids := bench.FigureIDs()
+	if *figFlag != "all" {
+		ids = []string{*figFlag}
+	}
+	if *hedge || *adaptive {
+		// The shortcuts replace the default "all" set (and compose with
+		// each other); an explicit -fig still wins.
+		if *figFlag == "all" {
+			ids = nil
+			if *hedge {
+				ids = append(ids, "ext-hedge")
+			}
+			if *adaptive {
+				ids = append(ids, "ext-adaptive")
+			}
+		}
+	}
+	if err := run(ids, mode, *outDir, bench.Quality{Warmup: *warmup, Iters: *iters, Verify: *verify, Coll: *collAlgo}); err != nil {
 		fmt.Fprintln(os.Stderr, "nmad-bench:", err)
 		os.Exit(1)
 	}
@@ -88,11 +108,7 @@ const (
 	modePlot
 )
 
-func run(figID string, mode outMode, outDir string, q bench.Quality) error {
-	ids := bench.FigureIDs()
-	if figID != "all" {
-		ids = []string{figID}
-	}
+func run(ids []string, mode outMode, outDir string, q bench.Quality) error {
 	for _, id := range ids {
 		fig, err := bench.Build(id, q)
 		if err != nil {

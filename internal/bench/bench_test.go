@@ -143,7 +143,7 @@ func TestBuildUnknownFigure(t *testing.T) {
 
 func TestFigureIDsComplete(t *testing.T) {
 	want := []string{
-		"ext-allreduce", "ext-chaos-coll", "ext-chaos-split", "ext-coll", "ext-mixed", "ext-pio", "ext-rails",
+		"ext-adaptive", "ext-allreduce", "ext-chaos-coll", "ext-chaos-split", "ext-coll", "ext-hedge", "ext-mixed", "ext-pio", "ext-rails",
 		"fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "fig5a", "fig5b", "fig6", "fig7",
 	}
 	got := FigureIDs()

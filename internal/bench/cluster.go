@@ -40,6 +40,11 @@ type ClusterConfig struct {
 	// Rel tunes the reliability layer when Reliable is set; zero values
 	// derive from each rail's NIC profile.
 	Rel relnet.Config
+	// Adaptive, when > 0, enables online selector re-fitting on every
+	// communicator: every Adaptive collective operations the selector
+	// thresholds are re-derived from the rails' online estimators at a
+	// deterministic epoch (see mpl.Comm.SetAdaptive).
+	Adaptive uint32
 }
 
 // Cluster is an N-node simulated platform, fully connected.
@@ -53,6 +58,9 @@ type Cluster struct {
 	// (nil on the diagonal) — retained so the chaos layer can target the
 	// links of a running cluster.
 	NICs [][][]*simnet.NIC
+	// Adaptive is the re-fit period distributed to every communicator
+	// (from ClusterConfig.Adaptive; 0 disables).
+	Adaptive uint32
 	// Selector is the collective algorithm selector installed on every
 	// communicator. Algorithm selection must agree on every rank (the
 	// schedules of different algorithms do not interoperate), so the
@@ -114,7 +122,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		cfg.Host = simnet.Opteron()
 	}
 	w := des.NewWorld()
-	c := &Cluster{W: w}
+	c := &Cluster{W: w, Adaptive: cfg.Adaptive}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.Hosts = append(c.Hosts, simnet.NewHost(w, fmt.Sprintf("n%d", i), cfg.Host))
 	}
@@ -167,7 +175,7 @@ func ClusterFromTopo(top *topo.Topology, cfg ClusterConfig) *Cluster {
 		panic("bench: ClusterConfig.Strategy is required")
 	}
 	n := top.Size()
-	c := &Cluster{W: top.W, Hosts: top.Hosts}
+	c := &Cluster{W: top.W, Hosts: top.Hosts, Adaptive: cfg.Adaptive}
 	for i := 0; i < n; i++ {
 		eng := core.New(core.Config{
 			Strategy: cfg.Strategy(), Clock: top.Hosts[i],
@@ -230,6 +238,9 @@ func (c *Cluster) Comm(rank int, p *des.Proc) *mpl.Comm {
 	// Install the cluster-wide seeded selector: every rank must make
 	// the same algorithm choices.
 	comm.SetSelector(c.Selector)
+	if c.Adaptive > 0 {
+		comm.SetAdaptive(c.Adaptive)
+	}
 	return comm
 }
 

@@ -177,6 +177,7 @@ var builders = map[string]func(Quality) *Figure{
 	"ext-pio": ExtPIO, "ext-rails": ExtRails, "ext-mixed": ExtMixed,
 	"ext-coll": ExtColl, "ext-allreduce": ExtAllreduce,
 	"ext-chaos-coll": ExtChaosColl, "ext-chaos-split": ExtChaosSplit,
+	"ext-hedge": ExtHedge, "ext-adaptive": ExtAdaptive,
 }
 
 // FigureIDs lists every reproducible figure in order.

@@ -33,8 +33,11 @@ import (
 // PerfSchema identifies the report layout. /2 added the loss_recovery
 // family (reliable-rail split transfers under per-packet loss). /3
 // added the shm_latency family (shared-memory rail pingpong and
-// bandwidth against a TCP-loopback rail on the same host).
-const PerfSchema = "newmad-perf/3"
+// bandwidth against a TCP-loopback rail on the same host). /4 added the
+// tail_latency family (hedged vs unhedged small sends under jitter and
+// degradation) and the adaptive_split family (estimator-adaptive vs
+// profile-static split weights).
+const PerfSchema = "newmad-perf/4"
 
 // LatencyPoint is one DES pingpong measurement.
 type LatencyPoint struct {
@@ -66,6 +69,37 @@ type LossRecoveryPoint struct {
 	Iters       int     `json:"iters"`
 }
 
+// TailLatencyPoint is one DES tail-latency measurement: 1 KiB sends
+// between two hosts over both rails, p50/p99 makespan, hedged or not,
+// under a fixed fault scenario armed from t=0 (see tailScenarios).
+// Deterministic, fixed iteration count. DupBytes over PrimaryBytes is
+// the duplicate-send overhead hedging paid for its tail win; the budget
+// check pins it at or below 1x (at most one duplicate per primary, so
+// total bytes stay within 2x).
+type TailLatencyPoint struct {
+	Scenario     string  `json:"scenario"`
+	SizeBytes    int     `json:"size_bytes"`
+	Hedged       bool    `json:"hedged"`
+	P50Us        float64 `json:"p50_us"`
+	P99Us        float64 `json:"p99_us"`
+	DupBytes     uint64  `json:"dup_bytes"`
+	PrimaryBytes uint64  `json:"primary_bytes"`
+	Completed    int     `json:"completed"`
+	Iters        int     `json:"iters"`
+}
+
+// AdaptiveSplitPoint is one DES adaptive-split measurement: a 2 MiB
+// transfer striped across both rails with profile-static or
+// estimator-adaptive split weights, under a fixed scenario (see
+// adaptiveScenarios). Deterministic, fixed iteration count.
+type AdaptiveSplitPoint struct {
+	Scenario  string  `json:"scenario"`
+	SizeBytes int     `json:"size_bytes"`
+	Adaptive  bool    `json:"adaptive"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+}
+
 // ThroughputPoint is one wall-clock engine throughput measurement.
 type ThroughputPoint struct {
 	Gates   int     `json:"gates"`
@@ -83,9 +117,11 @@ type AllocFigure struct {
 type PerfReport struct {
 	Schema string `json:"schema"`
 	// DES figures: deterministic virtual time.
-	PingpongLatency   []LatencyPoint      `json:"pingpong_latency"`
-	AllreduceMakespan []MakespanPoint     `json:"allreduce_makespan"`
-	LossRecovery      []LossRecoveryPoint `json:"loss_recovery"`
+	PingpongLatency   []LatencyPoint       `json:"pingpong_latency"`
+	AllreduceMakespan []MakespanPoint      `json:"allreduce_makespan"`
+	LossRecovery      []LossRecoveryPoint  `json:"loss_recovery"`
+	TailLatency       []TailLatencyPoint   `json:"tail_latency"`
+	AdaptiveSplit     []AdaptiveSplitPoint `json:"adaptive_split"`
 	// Wall-clock figures: machine-dependent, informational only.
 	// shm_latency is empty on platforms without /dev/shm.
 	ShmLatency          []ShmLatencyPoint `json:"shm_latency,omitempty"`
@@ -115,6 +151,34 @@ func BuildPerfReport(q Quality) *PerfReport {
 
 	for _, loss := range []int{0, 10, 20} {
 		r.LossRecovery = append(r.LossRecovery, lossRecovery(loss, 1<<20, q.Warmup+q.Iters))
+	}
+
+	// Tail latency and adaptive split run at fixed internal iteration
+	// counts (see hedgefigures.go): the p99 gates in CheckBudgets pin
+	// deterministic values that must not drift with the CLI -iters knob.
+	for _, sc := range tailScenarios() {
+		for _, hedged := range []bool{false, true} {
+			run, st := runTail(sc, tailSize, tailIters, hedged)
+			r.TailLatency = append(r.TailLatency, TailLatencyPoint{
+				Scenario: sc.Name, SizeBytes: tailSize, Hedged: hedged,
+				P50Us:        percentile(run.Makespans, 0.50) / 1e3,
+				P99Us:        percentile(run.Makespans, 0.99) / 1e3,
+				DupBytes:     st.DupBytes,
+				PrimaryBytes: st.PrimaryBytes,
+				Completed:    len(run.Makespans),
+				Iters:        tailIters,
+			})
+		}
+	}
+	for _, sc := range adaptiveScenarios() {
+		for _, adaptive := range []bool{false, true} {
+			run := runAdaptive(sc, adaptSize, adaptIters, adaptive)
+			r.AdaptiveSplit = append(r.AdaptiveSplit, AdaptiveSplitPoint{
+				Scenario: sc.Name, SizeBytes: adaptSize, Adaptive: adaptive,
+				P50Us: percentile(run.Makespans, 0.50) / 1e3,
+				P99Us: percentile(run.Makespans, 0.99) / 1e3,
+			})
+		}
 	}
 
 	if pts, err := ShmLatencyFamily(ShmLatencySizes(), q); err == nil {
@@ -164,8 +228,13 @@ func lossRecovery(lossPct, size, iters int) LossRecoveryPoint {
 	}
 }
 
-// CheckBudgets returns an error naming every allocation figure over its
-// budget.
+// CheckBudgets returns an error naming every figure over its budget:
+// allocation figures over their allocs/op budgets, plus the tail-latency
+// gates — hedging must strictly beat the unhedged p99 under jitter-30%
+// while paying at most one duplicate per primary (DupBytes <=
+// PrimaryBytes, i.e. total bytes within 2x), and adaptive split weights
+// must not lose to the static profiles on the stationary baseline
+// (within a 5% tolerance for the extra estimator chunking).
 func (r *PerfReport) CheckBudgets() error {
 	var over []string
 	for _, f := range r.AllocsPerOp {
@@ -173,8 +242,39 @@ func (r *PerfReport) CheckBudgets() error {
 			over = append(over, fmt.Sprintf("%s: %.2f allocs/op (budget %.0f)", f.Name, f.AllocsPerOp, f.Budget))
 		}
 	}
+	tail := func(scenario string, hedged bool) *TailLatencyPoint {
+		for i := range r.TailLatency {
+			if p := &r.TailLatency[i]; p.Scenario == scenario && p.Hedged == hedged {
+				return p
+			}
+		}
+		return nil
+	}
+	if h, u := tail("jitter-30%", true), tail("jitter-30%", false); h != nil && u != nil {
+		if h.P99Us >= u.P99Us {
+			over = append(over, fmt.Sprintf("tail_latency jitter-30%%: hedged p99 %.2fus not better than unhedged %.2fus", h.P99Us, u.P99Us))
+		}
+	}
+	for _, p := range r.TailLatency {
+		if p.Hedged && p.DupBytes > p.PrimaryBytes {
+			over = append(over, fmt.Sprintf("tail_latency %s: dup bytes %d exceed primary bytes %d (more than one duplicate per send)", p.Scenario, p.DupBytes, p.PrimaryBytes))
+		}
+	}
+	adapt := func(scenario string, adaptive bool) *AdaptiveSplitPoint {
+		for i := range r.AdaptiveSplit {
+			if p := &r.AdaptiveSplit[i]; p.Scenario == scenario && p.Adaptive == adaptive {
+				return p
+			}
+		}
+		return nil
+	}
+	if a, s := adapt("baseline", true), adapt("baseline", false); a != nil && s != nil {
+		if a.P50Us > s.P50Us*1.05 {
+			over = append(over, fmt.Sprintf("adaptive_split baseline: adaptive p50 %.2fus worse than static %.2fus (>5%%)", a.P50Us, s.P50Us))
+		}
+	}
 	if len(over) > 0 {
-		return fmt.Errorf("allocation budget exceeded: %v", over)
+		return fmt.Errorf("perf budget exceeded: %v", over)
 	}
 	return nil
 }

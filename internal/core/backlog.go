@@ -184,6 +184,11 @@ func (b *Backlog) clearSegs() {
 // strategy runs owning the gate's progress domain.
 func (b *Backlog) Scratch() []*Unit { return b.scratch[:0] }
 
+// DiscardUnit returns a unit the strategy is dropping without scheduling
+// (e.g. a hedged duplicate whose request was cancelled before any rail
+// took it) to the pool. The caller must hold the only reference.
+func (b *Backlog) DiscardUnit(u *Unit) { putUnit(u) }
+
 // StoreScratch records s's backing array for reuse by the next Scratch.
 func (b *Backlog) StoreScratch(s []*Unit) { b.scratch = s[:0] }
 

@@ -16,6 +16,20 @@ type Clock interface {
 	Memcpy(n int)
 }
 
+// TimerClock is an optional Clock extension for clocks that can run a
+// callback after a delay in their own notion of time: wall time for the
+// real clock, virtual time for the DES hosts. Strategies that need timed
+// speculation (hedged sends) type-assert the engine clock to this
+// interface and degrade gracefully when it is absent.
+//
+// The callback may fire on any goroutine; callers must route any engine
+// work through Gate.Exec. The returned stop function cancels a timer that
+// has not fired yet; calling it after the timer fired is a harmless no-op.
+type TimerClock interface {
+	Clock
+	AfterFunc(d int64, fn func()) (stop func())
+}
+
 // realClock is the wall-clock Clock: costs are incurred for real, so the
 // accounting methods are no-ops.
 type realClock struct{ start time.Time }
@@ -26,3 +40,8 @@ func NewRealClock() Clock { return &realClock{start: time.Now()} }
 func (c *realClock) Now() int64   { return time.Since(c.start).Nanoseconds() }
 func (c *realClock) Charge(int64) {}
 func (c *realClock) Memcpy(int)   {}
+
+func (c *realClock) AfterFunc(d int64, fn func()) func() {
+	t := time.AfterFunc(time.Duration(d), fn)
+	return func() { t.Stop() }
+}

@@ -54,7 +54,7 @@ type Config struct {
 // TraceEvent is one engine occurrence for diagnostics and tests.
 type TraceEvent struct {
 	Now  int64  // engine clock, ns
-	Ev   string // "post", "sent", "arrive", "rdv-grant", "fail"
+	Ev   string // "post", "sent", "arrive", "rdv-grant", "fail", "cancel"
 	Gate string
 	Rail int
 	Kind Kind
@@ -404,6 +404,7 @@ func (e *Engine) post(r *Rail, p *Packet) {
 	if p.Hdr.Kind == KRTS {
 		r.gate.stats.RdvStarted++
 	}
+	p.postedAt = e.clock.Now()
 	e.trace("post", r.gate, r.index, p.Hdr, len(p.Payload))
 	if err := r.drv.Send(p); err != nil {
 		e.failRail(r, p, err)
@@ -423,6 +424,9 @@ func (e *Engine) sendComplete(r *Rail) {
 	}
 	r.current = nil
 	r.busy.Store(false)
+	if r.est != nil {
+		r.est.Observe(len(p.Payload), e.clock.Now()-p.postedAt)
+	}
 	e.trace("sent", r.gate, r.index, p.Hdr, len(p.Payload))
 	if p.Hdr.Kind == KChunk {
 		if u := r.gate.rdvSend[p.Hdr.RdvID]; u != nil {
@@ -661,12 +665,18 @@ func (e *Engine) failSend(g *Gate, req *SendReq, err error) {
 	if req.failErr == nil {
 		req.failErr = err
 		e.purgeRequest(g, req)
-		// The peer may hold partial data for this message and would
-		// otherwise wait forever for the rest; the caller's kick
-		// flushes this on the surviving rails.
-		abort := getPacket()
-		abort.Hdr = Header{Kind: KAbort, Tag: req.tag, MsgID: req.msg}
-		g.backlog.PushCtrl(abort)
+		e.trace("cancel", g, -1, Header{Kind: KData, Tag: req.tag, MsgID: req.msg}, 0)
+		if !IsHedgeTag(req.tag) {
+			// The peer may hold partial data for this message and would
+			// otherwise wait forever for the rest; the caller's kick
+			// flushes this on the surviving rails. Hedged duplicates are
+			// the exception: their origin message is alive and possibly
+			// already delivered by the winner, so an abort chasing the
+			// losing copy must never tear the origin channel down.
+			abort := getPacket()
+			abort.Hdr = Header{Kind: KAbort, Tag: req.tag, MsgID: req.msg}
+			g.backlog.PushCtrl(abort)
+		}
 	}
 	req.maybeComplete()
 }
@@ -799,6 +809,20 @@ func unpackData(p *Packet) ([]*Unit, error) {
 	return units, nil
 }
 
+// unhedgeHdr folds a hedge-duplicate record back into its origin matching
+// channel: the reserved hedge tag is replaced by the origin tag carried in
+// the spare rendezvous field, after which ordinary (tag, msgID) matching
+// dedupes the copies — whichever of primary and duplicate arrives second
+// is dropped as a straggler or absorbed by the completed receive's replay
+// guard. Non-hedge headers pass through unchanged.
+func unhedgeHdr(h Header) Header {
+	if IsHedgeTag(h.Tag) {
+		h.Tag = uint32(h.RdvID)
+		h.RdvID = 0
+	}
+	return h
+}
+
 // arrive is the driver callback for an incoming packet. Corrupt wire
 // input — undecodable aggregates, unknown rendezvous ids, out-of-range
 // offsets, unknown kinds — fails the rail instead of panicking: a
@@ -815,7 +839,7 @@ func (e *Engine) arrive(r *Rail, p *Packet) {
 	switch p.Hdr.Kind {
 	case KData:
 		if p.Hdr.Agg == 0 {
-			e.arriveData(g, p.Hdr, p.Payload)
+			e.arriveData(g, unhedgeHdr(p.Hdr), p.Payload)
 			return
 		}
 		// Aggregate records are iterated in place (same overflow-safe
@@ -835,7 +859,7 @@ func (e *Engine) arrive(r *Rail, p *Packet) {
 				return
 			}
 			end := HeaderLen + int(h.PayLen)
-			e.arriveData(g, h, buf[HeaderLen:end])
+			e.arriveData(g, unhedgeHdr(h), buf[HeaderLen:end])
 			buf = buf[end:]
 		}
 	case KRTS:
@@ -908,6 +932,13 @@ func (e *Engine) arrive(r *Rail, p *Packet) {
 		}
 		e.finishRecv(g, sink.req)
 	case KAbort:
+		if IsHedgeTag(p.Hdr.Tag) {
+			// A cancelled hedge duplicate never aborts anything: the
+			// origin message it duplicated is alive (likely already
+			// delivered by the winning copy). Senders suppress these; a
+			// peer that emits one anyway is dropped defensively.
+			return
+		}
 		// The sender gave up on message (Tag, MsgID) after a rail died
 		// with delivery unknown: fail the matching receive (now or when
 		// it is posted) instead of letting it wait forever.

@@ -31,6 +31,10 @@ type Gate struct {
 	sendMsgID map[uint32]uint64
 	nextRdv   uint64
 	rdvSend   map[uint64]*Unit
+	// hedgeSeq sequences the reserved hedge tags of speculative duplicate
+	// sends (IsendHedge); each duplicate gets a fresh epoch so hedge wire
+	// traffic never aliases across messages.
+	hedgeSeq uint32
 
 	// receive side
 	recvMsgID  map[uint32]uint64
@@ -103,12 +107,19 @@ func (g *Gate) Backlog() *Backlog { return g.backlog }
 // AddRail attaches a driver as the gate's next rail and returns it. Rails
 // whose driver needs pumping (NeedsPoll) join the engine's active-rail
 // poll set; event-driven rails never will.
+//
+// Adding a rail to a dead gate revives it: the gate was dead only because
+// nothing could ever drain its work, and the new rail can (this is how
+// session-layer rail resurrection brings a fully failed peer back).
+// Requests that already failed stay failed.
 func (g *Gate) AddRail(drv Driver) *Rail {
 	g.dom.Lock()
 	r := &Rail{gate: g, index: len(g.rails), drv: drv}
 	prof := drv.Profile()
 	r.profile.Store(&prof)
+	r.est = NewEstimator(prof.Latency, prof.Bandwidth)
 	g.rails = append(g.rails, r)
+	g.dead = nil
 	drv.Bind(r.index, railEvents{r})
 	g.dom.Unlock()
 	if drv.NeedsPoll() {
@@ -237,6 +248,46 @@ func (g *Gate) isendv(tag uint32, segs [][]byte) *SendReq {
 	return req
 }
 
+// isendHedge submits a speculative duplicate of an in-flight
+// single-segment message: the whole payload again, under a fresh reserved
+// hedge tag, carrying the origin (tag, msgID) so the receiver folds it
+// back into the original matching channel where the normal msgID dedupe
+// drops whichever copy loses. The duplicate gets its own request — never
+// the original's — so byte accounting on the user's request stays exact;
+// cancelling the loser via Cancel is safe at any point of its lifecycle.
+// data must remain stable until the returned request completes (hedging
+// strategies pass a private copy, since the user may reuse their buffer
+// the moment the primary completes). Caller owns the gate's domain.
+func (g *Gate) isendHedge(origTag uint32, origMsg uint64, data []byte) *SendReq {
+	if g.dead != nil {
+		req := getSendReq()
+		req.gate, req.tag = g, origTag
+		req.complete(g.dead)
+		return req
+	}
+	seq := g.hedgeSeq
+	g.hedgeSeq++
+	tag := ReservedTag(HedgeClass, seq)
+	req := getSendReq()
+	req.gate, req.tag, req.msg = g, tag, origMsg
+	req.totalBytes, req.queuedBytes = len(data), len(data)
+	u := getUnit()
+	u.Req = req
+	u.Data = data
+	u.Hdr = Header{
+		Kind:    KData,
+		Tag:     tag,
+		MsgID:   origMsg,
+		MsgSegs: 1,
+		MsgLen:  uint64(len(data)),
+		SegLen:  uint64(len(data)),
+		RdvID:   uint64(origTag), // origin tag rides the spare field
+	}
+	g.eng.strat.Submit(g.backlog, u)
+	g.eng.kick(g)
+	return req
+}
+
 // Irecv posts a receive for the next message on tag. buf must be large
 // enough for the whole message; the request completes once every byte
 // (across segments, aggregates and rendezvous chunks) has landed.
@@ -340,6 +391,13 @@ func (o Ops) Isend(tag uint32, data []byte) *SendReq {
 
 // Isendv submits a multi-segment send; see Gate.Isendv.
 func (o Ops) Isendv(tag uint32, segs [][]byte) *SendReq { return o.g.isendv(tag, segs) }
+
+// IsendHedge submits a speculative duplicate of the message (origTag,
+// origMsg) whose payload is data; see Gate.isendHedge for the dedupe and
+// buffer-ownership contract.
+func (o Ops) IsendHedge(origTag uint32, origMsg uint64, data []byte) *SendReq {
+	return o.g.isendHedge(origTag, origMsg, data)
+}
 
 // Irecv posts a receive; see Gate.Irecv.
 func (o Ops) Irecv(tag uint32, buf []byte) *RecvReq {

@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"newmad/internal/core"
+)
+
+// TestHedgeDuplicateDeduped: a speculative duplicate travels under a
+// reserved hedge tag carrying the origin (tag, msgID); whichever copy
+// arrives first completes the receive and the receiver's msgID dedupe
+// drops the straggler — in either arrival order — without disturbing
+// the next message on the same tag.
+func TestHedgeDuplicateDeduped(t *testing.T) {
+	for _, dupFirst := range []bool{false, true} {
+		d := newDuo(t, 1, balanced)
+		payload := fill(512, 9)
+		next := fill(512, 17)
+		recv0 := make([]byte, 512)
+		recv1 := make([]byte, 512)
+		rr0 := d.gateBA.Irecv(5, recv0)
+		rr1 := d.gateBA.Irecv(5, recv1)
+		var sr, dup *core.SendReq
+		d.gateAB.Exec(func(o core.Ops) {
+			if dupFirst {
+				// The duplicate reaches the wire before its primary: it
+				// completes the receive, and the primary is the straggler.
+				dup = o.IsendHedge(5, 0, payload)
+				sr = o.Isend(5, payload)
+			} else {
+				sr = o.Isend(5, payload)
+				dup = o.IsendHedge(5, sr.MsgID(), payload)
+			}
+		})
+		if sr.MsgID() != 0 {
+			t.Fatalf("dupFirst=%v: primary msgID = %d", dupFirst, sr.MsgID())
+		}
+		sr2 := d.gateAB.Isend(5, next)
+		d.pump(t, sr, dup, sr2, rr0, rr1)
+		for _, r := range []core.Request{sr, dup, sr2, rr0, rr1} {
+			if r.Err() != nil {
+				t.Fatalf("dupFirst=%v: err: %v", dupFirst, r.Err())
+			}
+		}
+		if !bytes.Equal(recv0, payload) {
+			t.Fatalf("dupFirst=%v: first receive corrupted", dupFirst)
+		}
+		// The losing copy must not have consumed the second receive.
+		if !bytes.Equal(recv1, next) {
+			t.Fatalf("dupFirst=%v: straggler double-delivered", dupFirst)
+		}
+	}
+}
+
+// TestHedgeCancelledDupNoAbort: cancelling a losing duplicate must not
+// leak a KAbort onto the origin channel — the receiver still gets the
+// primary, and the tag keeps working afterwards.
+func TestHedgeCancelledDupNoAbort(t *testing.T) {
+	d := newDuo(t, 1, balanced)
+	payload := fill(256, 3)
+	next := fill(256, 5)
+	recv0 := make([]byte, 256)
+	recv1 := make([]byte, 256)
+	rr0 := d.gateBA.Irecv(9, recv0)
+	var sr, dup *core.SendReq
+	d.gateAB.Exec(func(o core.Ops) {
+		sr = o.Isend(9, payload)
+		dup = o.IsendHedge(9, sr.MsgID(), payload)
+	})
+	dup.Cancel(nil)
+	rr1 := d.gateBA.Irecv(9, recv1)
+	sr2 := d.gateAB.Isend(9, next)
+	d.pump(t, sr, sr2, rr0, rr1)
+	if sr.Err() != nil || rr0.Err() != nil || rr1.Err() != nil {
+		t.Fatalf("errs: %v %v %v", sr.Err(), rr0.Err(), rr1.Err())
+	}
+	if !dup.Done() {
+		t.Fatal("cancelled duplicate never completed")
+	}
+	if !bytes.Equal(recv0, payload) || !bytes.Equal(recv1, next) {
+		t.Fatal("payload mismatch after duplicate cancellation")
+	}
+}

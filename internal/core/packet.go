@@ -135,6 +135,20 @@ type Packet struct {
 
 	senders []senderRef
 	frame   *Buf
+	// postedAt is the engine-clock timestamp post stamped on the packet;
+	// sendComplete turns it into an estimator observation.
+	postedAt int64
+}
+
+// SenderReq returns the single send request the packet carries data for,
+// or nil when the packet is a control packet or aggregates several
+// requests. Strategies use it to correlate a scheduled packet back to the
+// request it advances (hedging registers its completion watch this way).
+func (p *Packet) SenderReq() *SendReq {
+	if len(p.senders) != 1 {
+		return nil
+	}
+	return p.senders[0].req
 }
 
 type senderRef struct {
@@ -180,6 +194,7 @@ func (p *Packet) Release() {
 	p.senders = p.senders[:0]
 	p.Hdr = Header{}
 	p.Payload = nil
+	p.postedAt = 0
 	packetPool.Put(p)
 }
 

@@ -25,6 +25,8 @@ type Rail struct {
 	// retiring marks a MarkDown'd rail whose healthy driver still owes
 	// the in-flight packet's completion; gate-domain owned.
 	retiring bool
+	// est models observed latency/bandwidth online; fed by sendComplete.
+	est *Estimator
 
 	// stats
 	pktsSent  atomic.Uint64
@@ -45,8 +47,15 @@ func (r *Rail) Driver() Driver { return r.drv }
 func (r *Rail) Profile() Profile { return *r.profile.Load() }
 
 // SetProfile installs a (typically sampled) profile used by strategies
-// for rail selection and stripping ratios.
-func (r *Rail) SetProfile(p Profile) { r.profile.Store(&p) }
+// for rail selection and stripping ratios. The estimator's optimistic
+// prior follows the profile.
+func (r *Rail) SetProfile(p Profile) {
+	r.profile.Store(&p)
+	r.est.SetPrior(p.Latency, p.Bandwidth)
+}
+
+// Estimator returns the rail's online latency/bandwidth model.
+func (r *Rail) Estimator() *Estimator { return r.est }
 
 // Busy reports whether a packet is in flight on the rail.
 func (r *Rail) Busy() bool { return r.busy.Load() }

@@ -33,3 +33,17 @@ func ReservedTag(class uint8, seq uint32) uint32 {
 
 // IsReservedTag reports whether tag lies in the library-internal space.
 func IsReservedTag(tag uint32) bool { return tag > MaxUserTag }
+
+// HedgeClass is the reserved protocol class of speculative duplicate
+// sends (hedged messages). Duplicates travel under
+// ReservedTag(HedgeClass, epoch) with the origin tag in the header's
+// spare rendezvous field; the receiving engine folds them back into the
+// origin (tag, msgID) channel, where msgID matching drops the losing
+// copy. The class value sits well away from the collective classes at
+// the bottom of the space.
+const HedgeClass uint8 = 0x40
+
+// IsHedgeTag reports whether tag is a reserved hedge-class tag.
+func IsHedgeTag(tag uint32) bool {
+	return tag > MaxUserTag && uint8(tag>>ReservedSeqBits)&0x7f == HedgeClass
+}

@@ -1,0 +1,78 @@
+package mpl_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"newmad/internal/mpl"
+)
+
+// TestVerifySelectorAgrees: identical selectors on every rank pass the
+// collective digest check.
+func TestVerifySelectorAgrees(t *testing.T) {
+	c := newCluster(t, 3)
+	c.par(t, func(cm *mpl.Comm) {
+		if err := cm.VerifySelector(context.Background()); err != nil {
+			t.Errorf("rank %d: %v", cm.Rank(), err)
+		}
+	})
+}
+
+// TestVerifySelectorMismatch: a rank with a diverging selector makes the
+// check fail loudly on every rank, naming the disagreement — collectives
+// silently corrupt when ranks pick different algorithms, so the guard
+// must never let a mismatch pass.
+func TestVerifySelectorMismatch(t *testing.T) {
+	c := newCluster(t, 3)
+	s := c.comms[1].Selector()
+	s.SmallMax *= 2
+	c.comms[1].SetSelector(s)
+	var mu sync.Mutex
+	errs := make(map[int]error)
+	c.par(t, func(cm *mpl.Comm) {
+		err := cm.VerifySelector(context.Background())
+		mu.Lock()
+		errs[cm.Rank()] = err
+		mu.Unlock()
+	})
+	for rank, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d accepted a selector mismatch", rank)
+		}
+		if !strings.Contains(err.Error(), "selector mismatch") {
+			t.Fatalf("rank %d: unexpected error: %v", rank, err)
+		}
+	}
+}
+
+// TestAdaptiveRefitUniform: with adaptive re-fitting enabled everywhere,
+// the deterministic epoch schedule (keyed to the lockstep collective
+// sequence) re-derives identical selectors on every rank — the digest
+// check still passes after several re-fits.
+func TestAdaptiveRefitUniform(t *testing.T) {
+	c := newCluster(t, 3)
+	for _, cm := range c.comms {
+		cm.SetAdaptive(2)
+	}
+	c.par(t, func(cm *mpl.Comm) {
+		for i := 0; i < 6; i++ {
+			cm.Barrier()
+		}
+	})
+	want := c.comms[0].Selector()
+	if want.Epoch == 0 {
+		t.Fatal("adaptive re-fit never fired")
+	}
+	for _, cm := range c.comms[1:] {
+		if cm.Selector().Digest() != want.Digest() {
+			t.Fatalf("rank %d selector diverged: %+v vs %+v", cm.Rank(), cm.Selector(), want)
+		}
+	}
+	c.par(t, func(cm *mpl.Comm) {
+		if err := cm.VerifySelector(context.Background()); err != nil {
+			t.Errorf("rank %d after re-fit: %v", cm.Rank(), err)
+		}
+	})
+}

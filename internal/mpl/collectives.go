@@ -35,6 +35,11 @@ const (
 	classAllreduce
 	classAllgather
 	classAlltoall
+	// classRefit carries the adaptive selector re-fit's threshold
+	// broadcast (see Comm.refit) — not a user-visible collective, but it
+	// shares the lockstep sequence space, so it needs its own class to
+	// keep its traffic off the real operations' channels.
+	classRefit
 )
 
 // Op is an elementwise reduction operator: F folds src into dst

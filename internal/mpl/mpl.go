@@ -9,6 +9,7 @@ package mpl
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,13 @@ type Comm struct {
 	// stay in lockstep and each operation gets the same reserved tag on
 	// every rank (see core.ReservedTag).
 	collSeq atomic.Uint32
+
+	// adaptEvery, when nonzero, re-fits the selector from the rails'
+	// online estimators every adaptEvery collective operations. The
+	// re-fit is keyed to collSeq — which advances in lockstep on every
+	// rank — so all ranks migrate their crossover points at the same
+	// deterministic epoch; see SetAdaptive.
+	adaptEvery uint32
 
 	selMu sync.RWMutex
 	sel   Selector
@@ -213,9 +221,128 @@ func (c *Comm) waitAbandon(ctx context.Context, reqs ...core.Request) error {
 	return err
 }
 
+// SetAdaptive enables online selector re-fitting: every `every`
+// collective operations (0 disables) the selector thresholds are
+// re-derived from the rails' online latency/bandwidth estimators via
+// SelectorFromRails, migrating the algorithm crossover points as the
+// observed platform drifts away from its one-shot seed.
+//
+// Rank uniformity is preserved by construction: the re-fit fires on the
+// collective sequence counter, which every rank advances in the same
+// order, so all ranks re-fit at the same deterministic epochs; and the
+// thresholds themselves are fitted once, on rank 0, then distributed to
+// every rank over a small broadcast riding the epoch's reserved
+// channel. Independently fitted selectors would drift apart — each
+// rank's estimators watch their own wall clock — so the epoch boundary
+// is also a (cheap, 16-byte) synchronization point. Call VerifySelector
+// after enabling — or at any setup fence — to check that cross-rank
+// agreement actually holds; a rank whose broadcast failed keeps its
+// previous epoch and is caught there.
+//
+// Every rank must call SetAdaptive with the same period before the same
+// collective, exactly like SetSelector.
+func (c *Comm) SetAdaptive(every uint32) {
+	c.adaptEvery = every
+}
+
+// refit re-derives the selector at an epoch boundary. Rank 0 fits from
+// its first peer gate's rail estimators; everyone then agrees on rank
+// 0's thresholds via a binomial broadcast on the refit class channel at
+// this boundary's sequence number — every rank hits the same boundary
+// in lockstep, so the exchange can never cross-match another epoch's.
+// The Force override is user intent, stays local, and survives re-fits.
+// On a failed exchange the selector is left untouched (the epoch does
+// not advance), which VerifySelector reports loudly.
+func (c *Comm) refit(seq, epoch uint32) {
+	size := c.Size()
+	tag := core.ReservedTag(classRefit, seq)
+	buf := make([]byte, 16)
+	if c.rank == 0 {
+		fitted := false
+		for r, g := range c.gates {
+			if r == c.rank {
+				continue
+			}
+			s := SelectorFromRails(g.Rails())
+			binary.LittleEndian.PutUint32(buf[0:], uint32(s.SmallMax))
+			binary.LittleEndian.PutUint32(buf[4:], uint32(s.PipeMin))
+			binary.LittleEndian.PutUint32(buf[8:], uint32(s.Chunk))
+			binary.LittleEndian.PutUint32(buf[12:], uint32(s.FanoutMaxRanks))
+			fitted = true
+			break // rails are symmetric across peers; one gate is enough
+		}
+		if !fitted {
+			return // single-rank communicator: nothing to fit from or tell
+		}
+	}
+	parent, children := binomial(c.rank, size)
+	if parent >= 0 {
+		if c.wait(context.Background(), c.gates[parent].Irecv(tag, buf)) != nil {
+			return
+		}
+	}
+	reqs := make([]core.Request, 0, len(children))
+	for _, ch := range children {
+		reqs = append(reqs, c.gates[ch].Isend(tag, buf))
+	}
+	if len(reqs) > 0 && c.wait(context.Background(), reqs...) != nil {
+		return
+	}
+	s := Selector{
+		SmallMax:       int(binary.LittleEndian.Uint32(buf[0:])),
+		PipeMin:        int(binary.LittleEndian.Uint32(buf[4:])),
+		Chunk:          int(binary.LittleEndian.Uint32(buf[8:])),
+		FanoutMaxRanks: int(binary.LittleEndian.Uint32(buf[12:])),
+		Epoch:          epoch,
+		Force:          c.Selector().Force,
+	}
+	c.SetSelector(s)
+}
+
 // collTag reserves the matching channel for one collective operation:
 // the operation's protocol class plus this communicator's next collective
-// sequence number (see Comm.collSeq).
+// sequence number (see Comm.collSeq). With adaptive selection enabled,
+// epoch boundaries re-fit the selector here — before the operation's
+// algorithm choice, on every rank at the same sequence number.
 func (c *Comm) collTag(class uint8) uint32 {
-	return core.ReservedTag(class, c.collSeq.Add(1)-1)
+	seq := c.collSeq.Add(1) - 1
+	if c.adaptEvery > 0 && seq%c.adaptEvery == 0 {
+		c.refit(seq, seq/c.adaptEvery+1)
+	}
+	return core.ReservedTag(class, seq)
+}
+
+// VerifySelector exchanges selector digests across all ranks (an
+// allgather on the reserved collective channels) and fails loudly if any
+// rank's selector disagrees with this one's: mismatched selectors would
+// otherwise pick incompatible algorithms and deadlock or corrupt the
+// reserved-tag space mid-collective. Call it at setup, after installing
+// or seeding selectors, or after enabling adaptive re-fits.
+//
+// Like every collective, all ranks must call it in the same position of
+// the collective order.
+func (c *Comm) VerifySelector(ctx context.Context) error {
+	mine := c.Selector().Digest()
+	send := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		send[i] = byte(mine >> (8 * i))
+	}
+	recv := make([]byte, 8*c.Size())
+	if err := c.AllgatherCtx(ctx, send, recv); err != nil {
+		return fmt.Errorf("mpl: selector verification exchange failed: %w", err)
+	}
+	var bad []int
+	for r := 0; r < c.Size(); r++ {
+		var d uint64
+		for i := 0; i < 8; i++ {
+			d |= uint64(recv[8*r+i]) << (8 * i)
+		}
+		if d != mine {
+			bad = append(bad, r)
+		}
+	}
+	if len(bad) != 0 {
+		return fmt.Errorf("mpl: selector mismatch: rank %d digest %016x disagrees with ranks %v (install equivalent selectors on every rank, or re-fit at identical epochs)", c.rank, mine, bad)
+	}
+	return nil
 }

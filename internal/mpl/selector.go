@@ -2,6 +2,7 @@ package mpl
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"newmad/internal/core"
@@ -93,6 +94,59 @@ type Selector struct {
 	// many ranks the O(N) fan-out overtakes log2(N) hops even for tiny
 	// payloads (0 uses the default of 32).
 	FanoutMaxRanks int
+	// Epoch tags the deterministic re-fit generation that produced these
+	// thresholds (0 for seeds and static defaults). Adaptive selection
+	// bumps it at every re-fit; it participates in the digest, so ranks
+	// whose selectors diverged — different thresholds or re-fits at
+	// different times — fail the uniformity check loudly.
+	Epoch uint32
+}
+
+// Digest hashes the selector's algorithm-relevant state (FNV-1a over the
+// thresholds, force override and epoch). Equal digests mean two ranks
+// will make identical algorithm choices for every (ranks, bytes) input;
+// Comm.VerifySelector exchanges digests to enforce that cross-rank.
+func (s Selector) Digest() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(s.Force))
+	mix(uint64(s.SmallMax))
+	mix(uint64(s.PipeMin))
+	mix(uint64(s.Chunk))
+	mix(uint64(s.FanoutMaxRanks))
+	mix(uint64(s.Epoch))
+	return h
+}
+
+// quantized rounds the size thresholds to the nearest power of two. The
+// adaptive re-fit path runs it so that symmetric ranks fitting from
+// independently observed — similar but not bit-identical — estimates
+// still land on identical thresholds.
+func (s Selector) quantized() Selector {
+	s.SmallMax = roundPow2(s.SmallMax)
+	s.PipeMin = roundPow2(s.PipeMin)
+	s.Chunk = roundPow2(s.Chunk)
+	return s
+}
+
+// roundPow2 rounds v to the nearest power of two (ties upward).
+func roundPow2(v int) int {
+	if v <= 1 {
+		return 1
+	}
+	n := bits.Len(uint(v - 1)) // ceil(log2 v)
+	hi := 1 << n
+	lo := hi >> 1
+	if v-lo < hi-v {
+		return lo
+	}
+	return hi
 }
 
 // DefaultSelector returns the static thresholds: sane for the paper's
@@ -121,6 +175,38 @@ func SelectorFromProfiles(profs []core.Profile) Selector {
 		}
 	}
 	return selectorFromModel(lat, bw)
+}
+
+// SelectorFromRails derives thresholds from the rails' online estimators:
+// the rails act in parallel, so estimated bandwidths add and the smallest
+// estimated latency wins. Rails without observations answer from their
+// profile priors, so the result degrades to SelectorFromProfiles on an
+// idle platform. The thresholds are quantized to powers of two so that
+// successive fits from drifting estimates don't flap between nearby
+// values (cross-rank agreement is not quantization's job: the adaptive
+// re-fit distributes rank 0's fit, see Comm.SetAdaptive).
+func SelectorFromRails(rails []*core.Rail) Selector {
+	var bw float64
+	var lat time.Duration
+	for _, r := range rails {
+		if r.Down() {
+			continue
+		}
+		est := r.Estimator()
+		if est == nil {
+			p := r.Profile()
+			bw += p.Bandwidth
+			if lat == 0 || (p.Latency > 0 && p.Latency < lat) {
+				lat = p.Latency
+			}
+			continue
+		}
+		bw += est.Bandwidth()
+		if l := est.Latency(); lat == 0 || (l > 0 && l < lat) {
+			lat = l
+		}
+	}
+	return selectorFromModel(lat, bw).quantized()
 }
 
 func selectorFromModel(lat time.Duration, bw float64) Selector {

@@ -1,0 +1,353 @@
+// Rail resurrection. A session whose rail dies (cable pull, crashed
+// proxy, transient routing loss) keeps running on its surviving rails —
+// the engine fails the rail, strategies route around it. Resurrection
+// closes the loop: the server advertises one extra TCP listener in its
+// hello, and a client probe re-dials downed rails through it, so a rail
+// that comes back is re-attached to both gates and the schedulers
+// (hedging, adaptive stripping) fold it back in through its estimator's
+// optimistic prior.
+//
+// Every revival — tcp and udp alike — is coordinated over one fresh TCP
+// connection to the resurrection listener, never over the rail's
+// original bring-up path, so revival cannot race a concurrent Accept's
+// handshake on the shared UDP preamble socket. The exchange:
+//
+//	client                               server
+//	  |-- preamble {token,rail} ---------->     look up session, verify
+//	  |                                         the rail is down
+//	  |<-- ack {ok[,addr]} ----------------     tcp: this conn IS the rail
+//	  |                                         udp: addr = fresh data socket
+//	  |   (udp only)
+//	  |-- preamble datagram --> addr            learns client's data addr
+//	  |<-- ack {ok} ------------------------    both ends attach
+//
+// A tcp rail reuses the coordination connection as the rail itself (the
+// server attaches after writing its ack, the client after reading it —
+// the ack is read unbuffered so engine frames right behind it survive).
+// A udp rail needs a datagram leg because both data addresses are fresh
+// sockets: the server's rides in the ack, the client's is learned from
+// the preamble datagram's source, exactly like the original bring-up in
+// udp.go. Shm rails are not resurrectable — the segment died with the
+// peer, and a same-host peer that can re-attach can just reconnect.
+//
+// The old rail object stays in the gate, down forever; AddRail appends
+// a new one. Both ends must have observed the failure: a server whose
+// side of the rail still looks up refuses revival (the client's probe
+// just retries next tick, by which time the server's sends on the dead
+// rail have failed it too).
+package session
+
+import (
+	"encoding/json"
+	"net"
+	"sync"
+	"time"
+
+	"newmad/internal/core"
+	"newmad/internal/drivers/tcpdrv"
+	"newmad/internal/drivers/udpdrv"
+)
+
+// sessionRec is the server's per-session resurrection state: the gate
+// and the current rail per spec slot (AddRail appends, so the gate's
+// own slice accumulates corpses; this one tracks the live ones).
+type sessionRec struct {
+	gate *core.Gate
+
+	mu       sync.Mutex
+	rails    []*core.Rail
+	reviving []bool // guards each slot against concurrent revivals
+}
+
+// begin claims rail slot i for revival: false if the rail is healthy or
+// another revival is already in flight.
+func (rec *sessionRec) begin(i int) bool {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if i < 0 || i >= len(rec.rails) || rec.reviving[i] || !rec.rails[i].Down() {
+		return false
+	}
+	rec.reviving[i] = true
+	return true
+}
+
+// finish releases slot i, installing the revived rail if any.
+func (rec *sessionRec) finish(i int, r *core.Rail) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.reviving[i] = false
+	if r != nil {
+		rec.rails[i] = r
+	}
+}
+
+// resurrectAck answers a resurrection preamble. Addr carries the
+// server's fresh UDP data socket for udp rails.
+type resurrectAck struct {
+	OK   bool   `json:"ok"`
+	Addr string `json:"addr,omitempty"`
+	Err  string `json:"err,omitempty"`
+}
+
+// resurrectLoop accepts revival connections until the listener closes.
+func (s *Server) resurrectLoop() {
+	for {
+		conn, err := s.res.Accept()
+		if err != nil {
+			return
+		}
+		go s.resurrectConn(conn)
+	}
+}
+
+// resurrectConn serves one revival attempt. Refusals are answered (so
+// the client can log why) and never disturb the session.
+func (s *Server) resurrectConn(conn net.Conn) {
+	deadline := time.Now().Add(s.opts.handshakeTimeout())
+	conn.SetDeadline(deadline)
+	refuse := func(msg string) {
+		writeJSON(conn, resurrectAck{Err: msg})
+		conn.Close()
+	}
+	var pre preamble
+	if err := readJSONUnbuffered(conn, &pre); err != nil {
+		conn.Close()
+		return
+	}
+	s.mu.Lock()
+	rec := s.sessions[pre.Token]
+	s.mu.Unlock()
+	if rec == nil {
+		refuse("unknown session")
+		return
+	}
+	if pre.Rail < 0 || pre.Rail >= len(s.specs) {
+		refuse("no such rail")
+		return
+	}
+	spec := s.specs[pre.Rail]
+	if spec.Proto == "shm" {
+		refuse("shm rails are not resurrectable")
+		return
+	}
+	if !rec.begin(pre.Rail) {
+		refuse("rail is up")
+		return
+	}
+	if spec.Proto == "udp" {
+		rec.finish(pre.Rail, s.resurrectUDP(conn, rec, pre, spec, deadline))
+		return
+	}
+	// TCP: the coordination connection becomes the rail. Attach after the
+	// ack so the driver's writer never races the handshake bytes.
+	if err := writeJSON(conn, resurrectAck{OK: true}); err != nil {
+		conn.Close()
+		rec.finish(pre.Rail, nil)
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	rec.finish(pre.Rail, rec.gate.AddRail(tcpdrv.New(conn, tcpdrv.Options{Profile: spec.Profile})))
+}
+
+// resurrectUDP runs the datagram leg of a udp rail revival: open a
+// fresh data socket, tell the client where it is, learn the client's
+// data address from its preamble datagram, confirm, attach. Returns the
+// revived rail or nil.
+func (s *Server) resurrectUDP(conn net.Conn, rec *sessionRec, pre preamble, spec RailSpec, deadline time.Time) *core.Rail {
+	defer conn.Close()
+	la := s.rails[pre.Rail].udp.LocalAddr().(*net.UDPAddr)
+	s1, err := net.ListenUDP("udp", &net.UDPAddr{IP: la.IP})
+	if err != nil {
+		writeJSON(conn, resurrectAck{Err: err.Error()})
+		return nil
+	}
+	if err := writeJSON(conn, resurrectAck{OK: true, Addr: s1.LocalAddr().String()}); err != nil {
+		s1.Close()
+		return nil
+	}
+	s1.SetReadDeadline(deadline)
+	buf := make([]byte, 2048)
+	for {
+		n, src, err := s1.ReadFromUDP(buf)
+		if err != nil {
+			s1.Close()
+			return nil
+		}
+		var p2 preamble
+		if json.Unmarshal(buf[:n], &p2) != nil || p2.Token != pre.Token || p2.Rail != pre.Rail {
+			continue // stray datagram; an open UDP port receives garbage
+		}
+		s1.SetReadDeadline(time.Time{})
+		if err := writeJSON(conn, resurrectAck{OK: true}); err != nil {
+			s1.Close()
+			return nil
+		}
+		return rec.gate.AddRail(udpdrv.New(s1, src, udpdrv.Options{Profile: spec.Profile}))
+	}
+}
+
+// handshakeTimeout is the relative form of handshakeDeadline, for
+// handshakes not bounded by any caller ctx (resurrection, probes).
+func (o Options) handshakeTimeout() time.Duration {
+	if o.HandshakeTimeout > 0 {
+		return o.HandshakeTimeout
+	}
+	return DefaultHandshakeTimeout
+}
+
+// prober is one client-side resurrection loop.
+type prober struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// probers maps gates to their running probers (see StopProbe).
+var probers sync.Map
+
+// startProber launches the revival loop for a freshly connected gate.
+func startProber(g *core.Gate, srv hello, rails []*core.Rail, opts Options) {
+	p := &prober{stop: make(chan struct{}), done: make(chan struct{})}
+	probers.Store(g, p)
+	go p.run(g, srv, rails, opts)
+}
+
+// StopProbe stops the resurrection prober attached to gate (a no-op if
+// none is). It returns once the prober goroutine has exited, so it is
+// safe to close the engine afterwards.
+func StopProbe(g *core.Gate) {
+	v, ok := probers.LoadAndDelete(g)
+	if !ok {
+		return
+	}
+	p := v.(*prober)
+	close(p.stop)
+	<-p.done
+}
+
+func (p *prober) run(g *core.Gate, srv hello, rails []*core.Rail, opts Options) {
+	defer close(p.done)
+	t := time.NewTicker(opts.Probe)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+		}
+		for i := range rails {
+			select {
+			case <-p.stop:
+				return
+			default:
+			}
+			if !rails[i].Down() {
+				continue
+			}
+			if r := reviveRail(g, srv, i, opts.handshakeTimeout()); r != nil {
+				rails[i] = r
+			}
+		}
+	}
+}
+
+// reviveRail attempts one revival of rail slot i against the server's
+// resurrection listener. Any failure returns nil; the prober retries
+// next tick.
+func reviveRail(g *core.Gate, srv hello, i int, timeout time.Duration) *core.Rail {
+	ri := srv.Rails[i]
+	switch ri.Proto {
+	case "", "tcp", "udp":
+	default:
+		return nil // shm: the segment died with the rail
+	}
+	if srv.ResurrectAddr == "" {
+		return nil // server does not offer resurrection
+	}
+	deadline := time.Now().Add(timeout)
+	conn, err := net.DialTimeout("tcp", srv.ResurrectAddr, timeout)
+	if err != nil {
+		return nil
+	}
+	conn.SetDeadline(deadline)
+	if err := writeJSON(conn, preamble{Token: srv.Token, Rail: i}); err != nil {
+		conn.Close()
+		return nil
+	}
+	// Acks are read unbuffered: on a tcp revival the server's engine
+	// frames may already be queued right behind the ack on this very
+	// connection.
+	var ack resurrectAck
+	if err := readJSONUnbuffered(conn, &ack); err != nil || !ack.OK {
+		conn.Close()
+		return nil
+	}
+	if ri.Proto == "udp" {
+		defer conn.Close()
+		return reviveUDP(g, conn, ack.Addr, srv.Token, i, ri.profile(), deadline)
+	}
+	conn.SetDeadline(time.Time{})
+	return g.AddRail(tcpdrv.New(conn, tcpdrv.Options{Profile: ri.profile()}))
+}
+
+// reviveUDP runs the client side of a udp revival's datagram leg: aim a
+// fresh socket at the server's advertised data address, announce it
+// with preamble datagrams (retried — datagrams drop), and wait for the
+// server's confirming ack on the coordination connection.
+func reviveUDP(g *core.Gate, conn net.Conn, addr, token string, rail int, prof core.Profile, deadline time.Time) *core.Rail {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil
+	}
+	uc, err := net.ListenUDP("udp", nil)
+	if err != nil {
+		return nil
+	}
+	pre, err := jsonMarshal(preamble{Token: token, Rail: rail})
+	if err != nil {
+		uc.Close()
+		return nil
+	}
+	// The confirming ack may arrive split across retry deadlines; keep
+	// the partial line across reads.
+	var line []byte
+	var b [1]byte
+	readAck := func(until time.Time) (ok, timedOut bool) {
+		conn.SetReadDeadline(until)
+		for {
+			if _, err := conn.Read(b[:]); err != nil {
+				ne, isNet := err.(net.Error)
+				return false, isNet && ne.Timeout()
+			}
+			if b[0] != '\n' {
+				line = append(line, b[0])
+				continue
+			}
+			var done resurrectAck
+			ok := json.Unmarshal(line, &done) == nil && done.OK
+			return ok, false
+		}
+	}
+	for {
+		if !time.Now().Before(deadline) {
+			uc.Close()
+			return nil
+		}
+		if _, err := uc.WriteToUDP(pre, raddr); err != nil {
+			uc.Close()
+			return nil
+		}
+		try := time.Now().Add(udpRetryInterval)
+		if try.After(deadline) {
+			try = deadline
+		}
+		ok, timedOut := readAck(try)
+		if timedOut {
+			continue // resend the preamble datagram
+		}
+		if !ok {
+			uc.Close()
+			return nil
+		}
+		return g.AddRail(udpdrv.New(uc, raddr, udpdrv.Options{Profile: prof}))
+	}
+}

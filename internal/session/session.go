@@ -60,6 +60,19 @@ type Options struct {
 	// is tighter wins; it replaces the previously hardcoded 30-second
 	// socket deadlines.
 	HandshakeTimeout time.Duration
+	// Resurrect (server side) opens an extra TCP listener, advertised to
+	// clients in the server hello, through which a downed tcp or udp rail
+	// of an established session can be brought back: the client presents
+	// the session token and rail index, the server re-attaches a fresh
+	// connection to the gate, and scheduling (hedging, adaptive
+	// stripping) picks the revived rail up through its estimator. See
+	// resurrect.go.
+	Resurrect bool
+	// Probe (client side) enables periodic rail resurrection: every
+	// Probe interval a background goroutine re-dials any downed tcp or
+	// udp rail against the server's resurrection listener. Zero disables
+	// probing. Call StopProbe(gate) before closing the engine.
+	Probe time.Duration
 }
 
 // handshakeDeadline computes the absolute deadline for one handshake:
@@ -104,12 +117,15 @@ type RailSpec struct {
 	Profile core.Profile
 }
 
-// hello is the control-channel negotiation message.
+// hello is the control-channel negotiation message. ResurrectAddr is
+// optional (a field absent on either side just disables resurrection),
+// so adding it needed no Version bump.
 type hello struct {
-	Version int        `json:"version"`
-	Name    string     `json:"name"`
-	Token   string     `json:"token,omitempty"`
-	Rails   []railInfo `json:"rails,omitempty"`
+	Version       int        `json:"version"`
+	Name          string     `json:"name"`
+	Token         string     `json:"token,omitempty"`
+	Rails         []railInfo `json:"rails,omitempty"`
+	ResurrectAddr string     `json:"resurrect_addr,omitempty"`
 }
 
 type railInfo struct {
@@ -120,6 +136,14 @@ type railInfo struct {
 	BandwidthBS float64 `json:"bandwidth_bytes_per_sec"`
 	EagerMax    int     `json:"eager_max"`
 	PIOMax      int     `json:"pio_max"`
+}
+
+// profile reconstructs the rail profile a server advertised.
+func (ri railInfo) profile() core.Profile {
+	return core.Profile{
+		Name: ri.Name, Latency: time.Duration(ri.LatencyNS), Bandwidth: ri.BandwidthBS,
+		EagerMax: ri.EagerMax, PIOMax: ri.PIOMax,
+	}
 }
 
 // preamble authenticates a rail connection to its session.
@@ -136,12 +160,17 @@ type Server struct {
 	rails []railListener
 	specs []RailSpec
 	opts  Options
+	// res is the rail resurrection listener (nil unless Options.Resurrect).
+	res net.Listener
 
 	mu     sync.Mutex
 	closed bool
 	// acked registers completed UDP rail handshakes for re-acking dup
 	// preambles (see udp.go).
 	acked map[string]*udpAckRec
+	// sessions registers accepted sessions by token for rail
+	// resurrection (see resurrect.go); nil unless Options.Resurrect.
+	sessions map[string]*sessionRec
 }
 
 // railListener is one advertised rail endpoint: a TCP listener or a UDP
@@ -213,6 +242,20 @@ func Listen(ctx context.Context, eng *core.Engine, name, ctrlAddr string, rails 
 			return nil, fmt.Errorf("session: rail %d: unknown proto %q", i, spec.Proto)
 		}
 	}
+	if opts.Resurrect {
+		host, _, err := net.SplitHostPort(ctrl.Addr().String())
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("session: resurrect listener: %w", err)
+		}
+		res, err := lc.Listen(ctx, "tcp", net.JoinHostPort(host, "0"))
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("session: resurrect listen: %w", err)
+		}
+		s.res = res
+		go s.resurrectLoop()
+	}
 	return s, nil
 }
 
@@ -257,6 +300,9 @@ func (s *Server) Accept(ctx context.Context) (*core.Gate, string, error) {
 		return nil, "", err
 	}
 	srv := hello{Version: Version, Name: s.name, Token: token}
+	if s.res != nil {
+		srv.ResurrectAddr = s.res.Addr().String()
+	}
 	for i, spec := range s.specs {
 		prof := spec.Profile
 		addr := s.rails[i].addr()
@@ -347,8 +393,17 @@ func (s *Server) Accept(ctx context.Context) (*core.Gate, string, error) {
 		eps = append(eps, railEndpoint{tcp: rc})
 	}
 	gate := s.eng.NewGate(cli.Name)
+	rls := make([]*core.Rail, len(eps))
 	for i, ep := range eps {
-		gate.AddRail(ep.driver(s.specs[i].Profile))
+		rls[i] = gate.AddRail(ep.driver(s.specs[i].Profile))
+	}
+	if s.res != nil {
+		s.mu.Lock()
+		if s.sessions == nil {
+			s.sessions = make(map[string]*sessionRec)
+		}
+		s.sessions[token] = &sessionRec{gate: gate, rails: rls, reviving: make([]bool, len(rls))}
+		s.mu.Unlock()
 	}
 	return gate, cli.Name, nil
 }
@@ -399,6 +454,11 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	err := s.ctrl.Close()
+	if s.res != nil {
+		if e := s.res.Close(); err == nil {
+			err = e
+		}
+	}
 	for _, l := range s.rails {
 		if e := l.close(); err == nil {
 			err = e
@@ -492,13 +552,12 @@ func Connect(ctx context.Context, eng *core.Engine, name, ctrlAddr string, opts 
 		eps = append(eps, railEndpoint{tcp: rc})
 	}
 	gate := eng.NewGate(srv.Name)
+	rls := make([]*core.Rail, len(eps))
 	for i, ep := range eps {
-		ri := srv.Rails[i]
-		prof := core.Profile{
-			Name: ri.Name, Latency: time.Duration(ri.LatencyNS), Bandwidth: ri.BandwidthBS,
-			EagerMax: ri.EagerMax, PIOMax: ri.PIOMax,
-		}
-		gate.AddRail(ep.driver(prof))
+		rls[i] = gate.AddRail(ep.driver(srv.Rails[i].profile()))
+	}
+	if opts.Probe > 0 {
+		startProber(gate, srv, rls, opts)
 	}
 	return gate, srv.Name, nil
 }

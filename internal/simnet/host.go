@@ -88,5 +88,17 @@ func (h *Host) Charge(d int64) { h.CPU.Charge(d) }
 // Memcpy accounts a host memory copy of n bytes.
 func (h *Host) Memcpy(n int) { h.ChargeMemcpy(n) }
 
+// AfterFunc schedules fn after d nanoseconds of virtual time on a
+// cancellable DES timer, satisfying core.TimerClock so timed speculation
+// (hedged sends) runs identically over simulated hardware and real
+// sockets. The returned stop function cancels an unfired timer.
+func (h *Host) AfterFunc(d int64, fn func()) func() {
+	if d < 0 {
+		d = 0
+	}
+	t := h.W.Schedule(des.Time(d), fn)
+	return t.Stop
+}
+
 // String implements fmt.Stringer.
 func (h *Host) String() string { return fmt.Sprintf("host(%s,%d nics)", h.Name, len(h.nics)) }

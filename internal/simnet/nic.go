@@ -76,13 +76,33 @@ type NIC struct {
 }
 
 // noisy scales a cost by the NIC's jitter factor (identity when jitter
-// is disabled).
+// is disabled): a uniform draw in [1-j, 1+j] modeling steady per-packet
+// host-cost noise.
 func (n *NIC) noisy(ns int64) int64 {
 	if n.rng == nil || n.jitter <= 0 {
 		return ns
 	}
 	f := 1 + n.jitter*(2*n.rng.Float64()-1)
 	return int64(math.Round(float64(ns) * f))
+}
+
+// stall returns this packet's straggler delay: with probability j²/2 the
+// packet stalls inside the NIC for 10j times its nominal cost — the rare
+// pause (flow-control backpressure, a retrying lane, a hiccuping DMA
+// engine) that gives real fabrics their heavy tail. The stall holds the
+// rail, delaying both the local send completion and the delivery, but
+// not the host CPU: other rails keep moving, which is exactly the
+// asymmetry tail-cutting schedulers exploit. Bounded uniform noise alone
+// has no such tail — its worst case is 1+j — so without stalls a p99 is
+// just a slightly worse p50.
+func (n *NIC) stall(nominalNS int64) des.Time {
+	if n.rng == nil || n.jitter <= 0 {
+		return 0
+	}
+	if n.rng.Float64() < n.jitter*n.jitter/2 {
+		return des.Time(10 * n.jitter * float64(nominalNS))
+	}
+	return 0
 }
 
 // Params returns the NIC model parameters.
@@ -155,9 +175,10 @@ func (n *NIC) SetDropProb(p float64) {
 	}
 }
 
-// SetJitter injects per-packet host-cost noise mid-run: each cost is
-// scaled by a factor drawn uniformly from [1-j, 1+j]. j is clamped to
-// [0, 0.99]; 0 disables noise.
+// SetJitter injects per-packet noise mid-run: each host cost is scaled
+// by a factor drawn uniformly from [1-j, 1+j], and with probability j²/2
+// the packet additionally stalls in the NIC for 10j times its nominal
+// cost (see stall). j is clamped to [0, 0.99]; 0 disables noise.
 func (n *NIC) SetJitter(j float64) {
 	n.jitter = math.Min(math.Max(j, 0), 0.99)
 	if n.jitter > 0 && n.rng == nil {
@@ -199,17 +220,20 @@ func (n *NIC) Send(size int, meta any, onSent func()) error {
 	cpu := n.host.CPU
 	if wire <= n.params.PIOMax {
 		n.pioSends++
-		done := cpu.Charge(n.noisy(n.params.SendOverhead.Nanoseconds() + transferNS(wire, n.bw)))
-		w.At(des.Time(done), onSent)
-		n.arriveAt(des.Time(done)+des.FromDuration(n.params.WireLatency), meta)
+		cost := n.params.SendOverhead.Nanoseconds() + transferNS(wire, n.bw)
+		done := des.Time(cpu.Charge(n.noisy(cost))) + n.stall(cost)
+		w.At(done, onSent)
+		n.arriveAt(done+des.FromDuration(n.params.WireLatency), meta)
 		return nil
 	}
 	n.dmaSends++
 	start := cpu.Charge(n.noisy(n.params.SendOverhead.Nanoseconds() + n.params.DMASetup.Nanoseconds()))
 	lat := des.FromDuration(n.params.WireLatency)
 	bw := n.bw
+	st := n.stall(transferNS(wire, bw))
 	w.At(des.Time(start), func() {
 		n.host.Bus.Start(int64(wire), bw, func(at des.Time) {
+			at += st
 			w.At(at, onSent)
 			n.arriveAt(at+lat, meta)
 		})

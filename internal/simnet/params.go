@@ -42,11 +42,14 @@ type NICParams struct {
 	DMASetup time.Duration
 	// HeaderBytes is the wire overhead added to every packet.
 	HeaderBytes int
-	// Jitter adds deterministic pseudo-random noise to per-packet host
-	// costs: each cost is scaled by a factor drawn uniformly from
-	// [1-Jitter, 1+Jitter] using a seed derived from the NIC identity,
-	// so runs remain reproducible. 0 disables noise (the default; the
-	// calibrated figures are generated noise-free).
+	// Jitter adds deterministic pseudo-random noise per packet: each
+	// host cost is scaled by a factor drawn uniformly from
+	// [1-Jitter, 1+Jitter], and with probability Jitter²/2 the packet
+	// stalls in the NIC for 10*Jitter times its nominal cost — the rare
+	// straggler that gives real fabrics their heavy tail (the stall
+	// holds the rail, not the CPU). The seed derives from the NIC
+	// identity, so runs remain reproducible. 0 disables noise (the
+	// default; the calibrated figures are generated noise-free).
 	Jitter float64
 }
 

@@ -9,7 +9,8 @@ import (
 
 // New builds a strategy by name, as used by the command-line tools:
 // "fifo", "aggreg" (both pinned to rail 0), "balance", "aggrail",
-// "split", "split-iso", "split-dyn".
+// "split", "split-iso", "split-dyn", "split-dyn-adaptive" (estimator
+// split weights), "hedge" (hedged duplicates over split-dyn-adaptive).
 func New(name string) (core.Strategy, error) {
 	switch name {
 	case "fifo":
@@ -26,6 +27,10 @@ func New(name string) (core.Strategy, error) {
 		return NewSplit(SplitIso), nil
 	case "split-dyn":
 		return NewSplitDyn(), nil
+	case "split-dyn-adaptive":
+		return NewSplitDynAdaptive(), nil
+	case "hedge":
+		return NewHedge(NewSplitDynAdaptive()), nil
 	default:
 		return nil, fmt.Errorf("strategy: unknown %q (have %v)", name, Names())
 	}
@@ -33,7 +38,7 @@ func New(name string) (core.Strategy, error) {
 
 // Names lists the registered strategy names.
 func Names() []string {
-	names := []string{"fifo", "aggreg", "balance", "aggrail", "split", "split-iso", "split-dyn"}
+	names := []string{"fifo", "aggreg", "balance", "aggrail", "split", "split-iso", "split-dyn", "split-dyn-adaptive", "hedge"}
 	sort.Strings(names)
 	return names
 }

@@ -15,16 +15,34 @@ import "newmad/internal/core"
 type SplitDyn struct {
 	// rdvMin as in Split; 0 means AggThreshold.
 	rdvMin int
+	// adaptive switches split weights from the rails' declared profiles
+	// to their online estimators: shares follow the bandwidth each rail
+	// actually delivers, re-fit continuously as completions arrive.
+	adaptive bool
 }
 
-// NewSplitDyn returns the dynamic work-stealing stripping strategy.
+// NewSplitDyn returns the dynamic work-stealing stripping strategy with
+// profile-static split weights.
 func NewSplitDyn() *SplitDyn { return &SplitDyn{} }
 
 // NewSplitDynRdvMin returns SplitDyn with an explicit rendezvous floor.
 func NewSplitDynRdvMin(rdvMin int) *SplitDyn { return &SplitDyn{rdvMin: rdvMin} }
 
+// NewSplitDynAdaptive returns SplitDyn with estimator-driven split
+// weights: each rail's share tracks the bandwidth it is observed to
+// deliver. A rail with no observations yet — freshly added, or just
+// resurrected after a failure — answers with its optimistic profile
+// prior, so it is offered work immediately instead of being starved out
+// of the samples it would need to ever earn a share.
+func NewSplitDynAdaptive() *SplitDyn { return &SplitDyn{adaptive: true} }
+
 // Name implements core.Strategy.
-func (*SplitDyn) Name() string { return "split-dyn" }
+func (s *SplitDyn) Name() string {
+	if s.adaptive {
+		return "split-dyn-adaptive"
+	}
+	return "split-dyn"
+}
 
 // Submit implements core.Strategy.
 func (*SplitDyn) Submit(b *core.Backlog, u *core.Unit) { b.PushSeg(u) }
@@ -74,7 +92,7 @@ func (s *SplitDyn) take(b *core.Backlog, r *core.Rail, rem int) int {
 		if rr.Down() {
 			continue
 		}
-		w := rr.Profile().Bandwidth
+		w := s.railWeight(rr)
 		if w <= 0 {
 			w = 1
 		}
@@ -96,6 +114,18 @@ func (s *SplitDyn) take(b *core.Backlog, r *core.Rail, rem int) int {
 		n = rem
 	}
 	return n
+}
+
+// railWeight is the rail's split weight: the online estimator's bandwidth
+// when adaptive (seeded with the profile prior, floored against
+// starvation), the declared profile otherwise.
+func (s *SplitDyn) railWeight(rr *core.Rail) float64 {
+	if s.adaptive {
+		if est := rr.Estimator(); est != nil {
+			return est.Bandwidth()
+		}
+	}
+	return rr.Profile().Bandwidth
 }
 
 var _ core.Strategy = (*SplitDyn)(nil)

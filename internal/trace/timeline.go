@@ -10,13 +10,15 @@ import (
 
 // Timeline renders per-rail occupancy lanes from collected events: one
 // row per rail, time left to right, a letter at each packet post (D=data
-// or aggregate, R=RTS, C=CTS, K=chunk), '=' while the rail is busy and
-// 'X' where the rail failed (a chaos-injected link fault or a driver
-// error, with or without a packet in flight). It makes scheduling
-// decisions visible at a glance: aggregation shows as lone D's on the
-// fast rail, stripping as simultaneous K-runs on all rails, and a
-// failover as an X on one lane with the K-runs continuing on the
-// survivors.
+// or aggregate, R=RTS, C=CTS, K=chunk, H=speculative hedge duplicate),
+// '=' while the rail is busy, 'x' where a hedged duplicate was cancelled
+// after losing its race, and 'X' where the rail failed (a chaos-injected
+// link fault or a driver error, with or without a packet in flight). It
+// makes scheduling decisions visible at a glance: aggregation shows as
+// lone D's on the fast rail, stripping as simultaneous K-runs on all
+// rails, a failover as an X on one lane with the K-runs continuing on
+// the survivors, and a hedge race as a D on one lane with an H on
+// another — ending in an x on whichever lane lost.
 func Timeline(evs []core.TraceEvent, width int) string {
 	if width < 16 {
 		width = 72
@@ -25,24 +27,46 @@ func Timeline(evs []core.TraceEvent, width int) string {
 		rail     int
 		from, to int64
 		kind     core.Kind
+		hedge    bool
 	}
 	type mark struct {
 		rail int
 		at   int64
 	}
+	type hedgeKey struct {
+		tag uint32
+		msg uint64
+	}
 	var spans []span
-	var fails []mark
+	var fails, cancels []mark
 	open := map[int]*span{}
 	rails := map[int]bool{}
+	// Cancel events carry no rail (the request may never have reached a
+	// wire); remember which lane each hedge duplicate was posted on so
+	// its cancellation lands there.
+	hedgeRail := map[hedgeKey]int{}
 	var tMin, tMax int64 = 1<<62 - 1, 0
 	for _, ev := range evs {
 		switch ev.Ev {
 		case "post":
-			s := &span{rail: ev.Rail, from: ev.Now, to: -1, kind: ev.Kind}
+			s := &span{rail: ev.Rail, from: ev.Now, to: -1, kind: ev.Kind, hedge: core.IsHedgeTag(ev.Tag)}
 			open[ev.Rail] = s
 			rails[ev.Rail] = true
+			if s.hedge {
+				hedgeRail[hedgeKey{ev.Tag, ev.Msg}] = ev.Rail
+			}
 			if ev.Now < tMin {
 				tMin = ev.Now
+			}
+		case "cancel":
+			if r, ok := hedgeRail[hedgeKey{ev.Tag, ev.Msg}]; ok && core.IsHedgeTag(ev.Tag) {
+				cancels = append(cancels, mark{rail: r, at: ev.Now})
+				if ev.Now < tMin {
+					tMin = ev.Now
+				}
+				if ev.Now > tMax {
+					tMax = ev.Now
+				}
 			}
 		case "sent", "fail":
 			if s := open[ev.Rail]; s != nil {
@@ -103,10 +127,19 @@ func Timeline(evs []core.TraceEvent, width int) string {
 			for c := from; c <= to; c++ {
 				row[c] = '='
 			}
-			row[from] = kindMark(s.kind)
+			if s.hedge {
+				row[from] = 'H'
+			} else {
+				row[from] = kindMark(s.kind)
+			}
 		}
-		// Fault marks last: a failure must stay visible even when it
-		// lands on a posted-packet cell.
+		// Cancellation and fault marks last: a lost race or a failure
+		// must stay visible even when it lands on a posted-packet cell.
+		for _, m := range cancels {
+			if m.rail == rail {
+				row[cell(m.at)] = 'x'
+			}
+		}
 		for _, m := range fails {
 			if m.rail == rail {
 				row[cell(m.at)] = 'X'

@@ -171,6 +171,43 @@ func TestTimelineMarksIdleRailDeath(t *testing.T) {
 	}
 }
 
+func TestTimelineMarksHedgeRace(t *testing.T) {
+	// A hedged send: primary D on rail 0, speculative duplicate H on
+	// rail 1; the primary wins and the duplicate is cancelled — an x on
+	// the duplicate's lane. Cancel events carry no rail, so the x must
+	// land via the (tag, msg) of the duplicate's post.
+	hedgeTag := core.ReservedTag(core.HedgeClass, 1)
+	evs := []core.TraceEvent{
+		{Now: 0, Ev: "post", Rail: 0, Kind: core.KData, Tag: 7, Msg: 3, Len: 512},
+		{Now: 100, Ev: "post", Rail: 1, Kind: core.KData, Tag: hedgeTag, Msg: 3, Len: 512},
+		{Now: 500, Ev: "sent", Rail: 0, Tag: 7, Msg: 3},
+		{Now: 600, Ev: "cancel", Rail: -1, Kind: core.KData, Tag: hedgeTag, Msg: 3},
+		{Now: 700, Ev: "sent", Rail: 1, Tag: hedgeTag, Msg: 3},
+	}
+	out := Timeline(evs, 40)
+	var rail0, rail1 string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "rail0 ") {
+			rail0 = l
+		}
+		if strings.HasPrefix(l, "rail1 ") {
+			rail1 = l
+		}
+	}
+	if !strings.Contains(rail0, "D") || strings.Contains(rail0, "H") {
+		t.Fatalf("primary lane wrong:\n%s", out)
+	}
+	if !strings.Contains(rail1, "H") {
+		t.Fatalf("hedge duplicate not marked H:\n%s", out)
+	}
+	if !strings.Contains(rail1, "x") {
+		t.Fatalf("cancelled loser not marked x:\n%s", out)
+	}
+	if strings.Contains(rail0, "x") {
+		t.Fatalf("cancel mark leaked onto the winning lane:\n%s", out)
+	}
+}
+
 func TestTimelineUnterminatedSpan(t *testing.T) {
 	evs := []core.TraceEvent{
 		{Now: 0, Ev: "post", Rail: 0, Kind: core.KData},

@@ -142,8 +142,44 @@ func StrategySplitIso() Strategy { return strategy.NewSplit(strategy.SplitIso) }
 // traffic and failures (not in the paper; see DESIGN.md §5).
 func StrategySplitDyn() Strategy { return strategy.NewSplitDyn() }
 
+// StrategySplitDynAdaptive returns the estimator-adaptive stripping
+// variant of StrategySplitDyn: each idle rail's bite is sized from the
+// bandwidth its online estimator has observed it deliver, not the one
+// its profile declared, so shares migrate as rails degrade, recover or
+// get resurrected (fresh rails start from an optimistic prior and are
+// never starved).
+func StrategySplitDynAdaptive() Strategy { return strategy.NewSplitDynAdaptive() }
+
+// HedgeStrategy wraps an inner strategy with tail-latency hedging: an
+// eligible small send whose primary packet blows past the rail's
+// completion-time quantile races a speculative duplicate down a second
+// rail, the first copy to arrive completes the receive, and the loser is
+// cancelled. Stats exposes the hedge counters.
+type HedgeStrategy = strategy.Hedge
+
+// HedgeStats are the hedging counters: eligible sends, duplicates
+// raced, losers cancelled, primary and duplicate bytes.
+type HedgeStats = strategy.HedgeStats
+
+// StrategyHedge wraps inner with default hedging (p90 stagger, clamped).
+func StrategyHedge(inner Strategy) *HedgeStrategy { return strategy.NewHedge(inner) }
+
+// StrategyHedgeTuned wraps inner with explicit hedging knobs: maxSize
+// bounds eligible payloads (0 = eager-regime default), quantile picks
+// the stagger from the primary rail's completion-time distribution, and
+// the stagger is clamped to [minStagger, maxStagger].
+func StrategyHedgeTuned(inner Strategy, maxSize int, quantile float64, minStagger, maxStagger time.Duration) *HedgeStrategy {
+	return strategy.NewHedgeTuned(inner, maxSize, quantile, minStagger, maxStagger)
+}
+
+// RailEstimator is a rail's online latency/bandwidth/quantile model,
+// fed from packet completions (Rail.Estimator): the source of hedge
+// staggers, adaptive split weights and selector re-fits.
+type RailEstimator = core.Estimator
+
 // StrategyByName builds a strategy from its registry name ("fifo",
-// "aggreg", "balance", "aggrail", "split", "split-iso").
+// "aggreg", "balance", "aggrail", "split", "split-iso", "split-dyn",
+// "split-dyn-adaptive", "hedge").
 func StrategyByName(name string) (Strategy, error) { return strategy.New(name) }
 
 // Simulated platform (the paper's testbed substitute).
@@ -278,6 +314,13 @@ func CollSelectorFromProfiles(profs []Profile) CollSelector {
 	return mpl.SelectorFromProfiles(profs)
 }
 
+// CollSelectorFromRails derives selection thresholds from the rails'
+// online estimators (falling back to profiles while a rail has no
+// samples) — the fit behind Comm.SetAdaptive's re-fit epochs.
+func CollSelectorFromRails(rails []*Rail) CollSelector {
+	return mpl.SelectorFromRails(rails)
+}
+
 // ParseCollAlgo parses "auto", "linear", "tree" or "pipeline".
 func ParseCollAlgo(s string) (CollAlgo, error) { return mpl.ParseAlgo(s) }
 
@@ -332,9 +375,19 @@ func ListenSession(ctx context.Context, eng *Engine, name, ctrlAddr string, rail
 // ConnectSession dials a session server and brings up every offered
 // rail, returning the gate and the server's name. The negotiation is
 // bounded by opts.HandshakeTimeout and ctx, whichever is tighter.
+//
+// With SessionOptions.Probe set, a background prober re-dials downed
+// tcp/udp rails through the server's resurrection listener (the server
+// must have been started with SessionOptions.Resurrect); call
+// StopSessionProbe before closing the engine.
 func ConnectSession(ctx context.Context, eng *Engine, name, ctrlAddr string, opts SessionOptions) (*Gate, string, error) {
 	return session.Connect(ctx, eng, name, ctrlAddr, opts)
 }
+
+// StopSessionProbe stops the rail-resurrection prober attached to a
+// gate by ConnectSession (a no-op if none is) and returns once the
+// prober goroutine has exited.
+func StopSessionProbe(g *Gate) { session.StopProbe(g) }
 
 // TCP rails (real sockets).
 
@@ -433,7 +486,9 @@ type TraceCollector = trace.Collector
 func NewTraceCollector(max int) *TraceCollector { return trace.New(max) }
 
 // TraceTimeline renders per-rail occupancy lanes from collected events:
-// packet posts marked by kind (D/R/C/K), '=' while the rail is busy.
+// packet posts marked by kind (D/R/C/K, H for speculative hedge
+// duplicates), '=' while the rail is busy, 'x' where a hedged duplicate
+// was cancelled after losing its race, 'X' where the rail failed.
 func TraceTimeline(events []TraceEvent, width int) string { return trace.Timeline(events, width) }
 
 // Sampling.
